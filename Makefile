@@ -1,0 +1,39 @@
+# Convenience targets for the RPCValet reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench figures figures-full validate examples clean
+
+install:
+	pip install -e .[dev] || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-quick:
+	REPRO_BENCH_PROFILE=quick $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate every paper table/figure (quick profile, ~4 minutes).
+figures:
+	$(PYTHON) -m repro.experiments all --profile quick
+
+# Publication-scale numbers (the EXPERIMENTS.md profile; slow).
+figures-full:
+	$(PYTHON) -m repro.experiments all --profile full
+
+validate:
+	$(PYTHON) -m repro.experiments validate
+
+examples:
+	for script in examples/*.py; do \
+		echo "== $$script =="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache \
+		benchmarks/output .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

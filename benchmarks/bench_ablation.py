@@ -1,0 +1,90 @@
+"""Ablations of RPCValet's design choices (DESIGN.md §4)."""
+
+import pytest
+
+from conftest import run_once
+
+from repro.experiments import (
+    run_indirection_ablation,
+    run_outstanding_ablation,
+    run_policy_ablation,
+    run_slots_ablation,
+)
+
+
+def test_outstanding(benchmark, profile, emit):
+    result = run_once(benchmark, run_outstanding_ablation, profile=profile, seed=0)
+    emit(result)
+    by_limit = result.data["by_limit"]
+    # All thresholds sustain the offered load (differences are tails).
+    throughputs = [stats["tput_mrps"] for stats in by_limit.values()]
+    assert max(throughputs) / min(throughputs) < 1.1
+
+
+def test_policy(benchmark, profile, emit):
+    result = run_once(benchmark, run_policy_ablation, profile=profile, seed=0)
+    emit(result)
+    p99s = result.data["p99_by_policy"]
+    # Policy is second-order under hold semantics: within 2x of each other.
+    assert max(p99s.values()) / min(p99s.values()) < 2.0
+
+
+def test_indirection(benchmark, profile, emit):
+    result = run_once(benchmark, run_indirection_ablation, profile=profile, seed=0)
+    emit(result)
+    p99s = result.data["p99_by_scale"]
+    # §4.3: at realistic (1x-4x) hop latencies the indirection is
+    # negligible; the extreme 16x point must show clear degradation —
+    # that is the PCIe-attached regime §3.2 argues against.
+    assert p99s[4] < 2.0 * p99s[1]
+    assert p99s[16] > p99s[4]
+
+
+def test_slots(benchmark, profile, emit):
+    result = run_once(benchmark, run_slots_ablation, profile=profile, seed=0)
+    emit(result)
+    by_slots = result.data["by_slots"]
+    # S=1 shows sender-side stalls before larger provisions do.
+    assert by_slots[1]["stall_fraction"] >= by_slots[32]["stall_fraction"]
+    assert by_slots[32]["stall_fraction"] == 0.0
+
+
+def test_scalability(benchmark, profile, emit):
+    from repro.experiments import run_scalability_ablation
+
+    result = run_once(benchmark, run_scalability_ablation, profile=profile, seed=0)
+    emit(result)
+    by_cores = result.data["by_cores"]
+    # Dispatcher busy fraction grows ~linearly but never saturates.
+    assert by_cores[64]["dispatcher_busy"] < 0.5
+    # Tails stay flat across core counts at equal relative load.
+    assert by_cores[64]["p99_ns"] < 3 * by_cores[16]["p99_ns"]
+
+
+def test_rss_spray(benchmark, profile, emit):
+    from repro.experiments import run_rss_spray
+
+    result = run_once(benchmark, run_rss_spray, profile=profile, seed=0)
+    emit(result)
+    by_config = result.data["by_config"]
+    rss_skewed = by_config["16x1 per-source (RSS)/skew=1.2"]
+    valet_skewed = by_config["1x16 (RPCValet)/skew=1.2"]
+    assert rss_skewed["p99_ns"] > 3 * valet_skewed["p99_ns"]
+
+
+def test_straggler(benchmark, profile, emit):
+    from repro.experiments import run_straggler_ablation
+
+    result = run_once(benchmark, run_straggler_ablation, profile=profile, seed=0)
+    emit(result)
+    by_config = result.data["by_config"]
+    # §3.2: the static hash suffers from the degraded core far more
+    # than NI-driven dynamic dispatch does.
+    assert (
+        by_config["16x1/1 straggler core"]["p99_ns"]
+        > 4 * by_config["1x16/1 straggler core"]["p99_ns"]
+    )
+    # RPCValet's throughput is untouched by one degraded core.
+    assert by_config["1x16/1 straggler core"]["tput_mrps"] == pytest.approx(
+        by_config["1x16/healthy"]["tput_mrps"], rel=0.05
+    )

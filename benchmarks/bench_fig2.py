@@ -1,0 +1,31 @@
+"""Figure 2: theoretical queueing models (§2.2).
+
+Regenerates the three panels and asserts the paper's qualitative
+findings: p99 improves with U, and tail grows with service variance.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_fig2a, run_fig2b, run_fig2c
+
+
+def test_fig2a(benchmark, profile, emit):
+    result = run_once(benchmark, run_fig2a, profile=profile, seed=0)
+    emit(result)
+    p99s = result.data["high_load_p99"]
+    assert p99s["1x16"] < p99s["2x8"] < p99s["4x4"]
+    assert p99s["4x4"] < p99s["8x2"] < p99s["16x1"]
+
+
+def test_fig2b(benchmark, profile, emit):
+    result = run_once(benchmark, run_fig2b, profile=profile, seed=0)
+    emit(result)
+    p99s = result.data["pre_saturation_p99"]
+    assert p99s["fixed"] <= p99s["uniform"] <= p99s["exponential"] <= p99s["gev"]
+
+
+def test_fig2c(benchmark, profile, emit):
+    result = run_once(benchmark, run_fig2c, profile=profile, seed=0)
+    emit(result)
+    p99s = result.data["pre_saturation_p99"]
+    assert p99s["fixed"] <= p99s["uniform"] <= p99s["exponential"] <= p99s["gev"]

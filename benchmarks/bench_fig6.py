@@ -1,0 +1,19 @@
+"""Figure 6: the modeled processing-time distributions (§5)."""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import run_fig6
+
+
+def test_fig6(benchmark, profile, emit):
+    result = run_once(benchmark, run_fig6, profile=profile, seed=0)
+    emit(result)
+    data = result.data
+    # Paper anchors: 600ns synthetic, 330ns HERD, 1.25µs Masstree gets.
+    for kind in ("fixed", "uniform", "exponential", "gev"):
+        assert data[kind]["mean_analytic"] == pytest.approx(600.0, rel=0.01)
+    assert data["herd"]["mean_analytic"] == pytest.approx(330.0)
+    assert data["masstree_get"]["mean_analytic"] == pytest.approx(1250.0)
+    # Scans clip the Fig. 6c axis: 60-120µs.
+    assert data["masstree_scan"]["mean_analytic"] == pytest.approx(90_000.0)

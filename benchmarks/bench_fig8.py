@@ -1,0 +1,16 @@
+"""Figure 8: hardware vs software single-queue (MCS lock) balancing."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig8
+
+
+def test_fig8(benchmark, profile, emit):
+    result = run_once(benchmark, run_fig8, profile=profile, seed=0)
+    emit(result)
+    ratios = result.data["ratios"]
+    # Paper: hardware delivers 2.3-2.7x more throughput under SLO.
+    # Coarse grids overestimate the gap slightly; assert the claim's
+    # direction and magnitude band generously.
+    for kind, ratio in ratios.items():
+        assert 1.8 <= ratio <= 6.0, (kind, ratio)

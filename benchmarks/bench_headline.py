@@ -1,0 +1,20 @@
+"""Headline claims (§1/abstract) in one table."""
+
+from conftest import run_once
+
+from repro.experiments import run_headline
+
+
+def test_headline(benchmark, profile, emit):
+    result = run_once(benchmark, run_headline, profile=profile, seed=0)
+    emit(result)
+    data = result.data
+    # 1x16 over 16x1 under SLO: paper up to 1.4x (GEV).
+    assert data["tput_ratio_vs_16x1_gev"] >= 1.0
+    # Tail reduction before saturation: paper "up to 4x".
+    assert data["tail_ratio_before_saturation"] > 1.5
+    # Software gap: paper 2.3-2.7x.
+    assert data["sw_ratio_min"] >= 1.8
+    # Model gap: paper 3-15%.
+    assert data["model_gap_fixed"] < 0.35
+    assert data["model_gap_gev"] < 0.35

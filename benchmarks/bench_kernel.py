@@ -1,0 +1,82 @@
+"""Micro-benchmarks of the simulation substrates themselves.
+
+These track the cost of the building blocks (events/second in the DES
+kernel, requests/second in the queueing fast path, RPCs/second in the
+architectural simulator) so performance regressions in the simulator
+are visible independently of the figure-level benchmarks.
+"""
+
+import numpy as np
+
+from repro import make_system
+from repro.queueing import poisson_arrivals, simulate_fifo_queue
+from repro.sim import Environment, Store
+
+
+def test_kernel_timeout_throughput(benchmark):
+    """Schedule and process a chain of timeouts."""
+
+    def run():
+        env = Environment()
+
+        def chain():
+            for _ in range(10_000):
+                yield env.timeout(1.0)
+
+        env.process(chain())
+        env.run()
+        return env.now
+
+    result = benchmark(run)
+    assert result == 10_000.0
+
+
+def test_kernel_store_handoff_throughput(benchmark):
+    """Producer/consumer hand-offs through a Store."""
+
+    def run():
+        env = Environment()
+        store = Store(env)
+        received = [0]
+
+        def producer():
+            for index in range(5_000):
+                yield store.put(index)
+                yield env.timeout(1.0)
+
+        def consumer():
+            while received[0] < 5_000:
+                yield store.get()
+                received[0] += 1
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        return received[0]
+
+    assert benchmark(run) == 5_000
+
+
+def test_fastsim_throughput(benchmark):
+    """The Fig. 2/9 inner loop: G/G/16 FIFO on 200k requests."""
+    rng = np.random.default_rng(0)
+    n = 200_000
+    arrivals = poisson_arrivals(rng, rate=12.8, count=n)
+    services = rng.exponential(1.0, n)
+
+    def run():
+        return simulate_fifo_queue(arrivals, services, 16)
+
+    departures = benchmark(run)
+    assert departures.shape == (n,)
+
+
+def test_arch_sim_throughput(benchmark):
+    """End-to-end RPCs/second through the architectural simulator."""
+
+    def run():
+        system = make_system("1x16", "herd", seed=0)
+        return system.run_point(offered_mrps=20.0, num_requests=4_000)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.completed == 4_000

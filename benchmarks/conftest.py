@@ -1,0 +1,46 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one paper table/figure via its experiment
+driver, records the wall-clock cost with pytest-benchmark, prints the
+same rows/series the paper plots, and persists the rendered table under
+``benchmarks/output/``.
+
+Profile selection: set ``REPRO_BENCH_PROFILE`` to ``smoke`` (default,
+seconds per figure), ``quick``, or ``full`` (publication-scale, used to
+produce the numbers in EXPERIMENTS.md).
+"""
+
+import os
+import pathlib
+
+import pytest
+
+#: Directory where rendered tables are persisted.
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+PROFILE = os.environ.get("REPRO_BENCH_PROFILE", "smoke")
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return PROFILE
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Persist and print an ExperimentResult's tables."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _emit(result):
+        text = result.table()
+        (OUTPUT_DIR / f"{result.experiment_id}.txt").write_text(text + "\n")
+        print()
+        print(text)
+        return text
+
+    return _emit
+
+
+def run_once(benchmark, func, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Capacity planning with the paper's provisioning formulas (§4.2/§4.3).
+
+Answers the sizing questions a deployer of native messaging would ask:
+
+1. How much memory do the send/receive buffers take per node, as the
+   messaging domain (N nodes × S slots × max message size) scales?
+2. Can a single NI dispatcher keep up with the chip's dispatch rate
+   (§4.3's feasibility argument), and where would grouped dispatch
+   become necessary?
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.arch import ChipConfig, MessagingDomain
+from repro.metrics import format_table
+
+
+def buffer_footprint_panel() -> None:
+    print("— §4.2 buffer provisioning: per-node memory footprint —")
+    rows = []
+    for num_nodes in (64, 200, 512, 1024):
+        for max_msg in (512, 2048):
+            domain = MessagingDomain(
+                num_nodes=num_nodes, slots_per_node=32, max_msg_bytes=max_msg
+            )
+            rows.append(
+                [
+                    num_nodes,
+                    32,
+                    max_msg,
+                    domain.send_buffer_bytes / 1024,
+                    domain.receive_buffer_bytes / 2**20,
+                    domain.footprint_bytes / 2**20,
+                ]
+            )
+    print(
+        format_table(
+            ["nodes (N)", "slots (S)", "max msg (B)",
+             "send buf (KiB)", "recv buf (MiB)", "total (MiB)"],
+            rows,
+            precision=4,
+        )
+    )
+    print(
+        "The paper's expectation — 'a few tens of MBs' for rack-scale\n"
+        "deployments — holds across these points.\n"
+    )
+
+
+def dispatcher_feasibility_panel() -> None:
+    print("— §4.3 dispatch-rate feasibility of one NI dispatcher —")
+    config = ChipConfig()
+    rows = []
+    for cores, service_ns in ((16, 500.0), (16, 2000.0), (64, 500.0), (256, 500.0)):
+        dispatch_interval_ns = service_ns / cores
+        headroom = dispatch_interval_ns / config.dispatch_ns
+        rows.append(
+            [
+                cores,
+                service_ns,
+                dispatch_interval_ns,
+                config.dispatch_ns,
+                f"{headroom:.0f}x",
+                "single dispatcher OK" if headroom >= 2 else "consider grouping",
+            ]
+        )
+    print(
+        format_table(
+            ["cores", "RPC service (ns)", "dispatch every (ns)",
+             "decision cost (ns)", "headroom", "verdict"],
+            rows,
+        )
+    )
+    print(
+        "§4.3: 'even an RPC service time as low as 500ns corresponds to a\n"
+        "new dispatch decision every ~31/8ns for a 16/64-core chip' — both\n"
+        "sustainable; the table shows where that argument starts to strain.\n"
+    )
+
+
+def slot_blocking_panel() -> None:
+    print("— slot provisioning as a finite-buffer system (M/M/c/K) —")
+    from repro.queueing import mmck_blocking_probability, mmck_throughput
+
+    # One server pair: how many in-flight slots S before sender stalls
+    # become negligible? Model the server as M/M/16/K with K = total
+    # admitted requests; S bounds K per sender.
+    servers, service_rate = 16, 1.0 / 0.55e-6  # ~550ns HERD service
+    rows = []
+    for utilization in (0.8, 0.95):
+        arrival_rate = utilization * servers * service_rate
+        for capacity in (16, 24, 48, 96):
+            blocking = mmck_blocking_probability(
+                servers, capacity, arrival_rate, service_rate
+            )
+            accepted = mmck_throughput(
+                servers, capacity, arrival_rate, service_rate
+            )
+            rows.append(
+                [
+                    f"{utilization:.0%}",
+                    capacity,
+                    f"{blocking * 100:.3f}%",
+                    accepted / 1e6,
+                ]
+            )
+    print(
+        format_table(
+            ["load", "admitted cap (K)", "P(block)", "accepted (MRPS)"],
+            rows,
+        )
+    )
+    print(
+        "Tens of in-flight slots suffice below saturation — the paper's\n"
+        "'a few tens' provisioning claim (§4.2), derived analytically.\n"
+    )
+
+
+def main() -> None:
+    buffer_footprint_panel()
+    dispatcher_feasibility_panel()
+    slot_blocking_panel()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Rack-scale cluster: every node a full RPCValet chip.
+
+The paper models one chip and emulates its peers. This example goes
+further: it simulates a small rack where *every* node is a full
+16-core soNUMA chip exchanging RPCs all-to-all, with per-pair send-slot
+flow control and replenish credits crossing the fabric. It compares
+RPCValet against RSS-style partitioning cluster-wide, then shows the
+effect of a two-tier (pod) fabric on flow-control stalls.
+
+Run:  python examples/rack_scale_cluster.py
+"""
+
+from repro.balancing import Partitioned, SingleQueue
+from repro.cluster import Cluster, PodFabric
+
+NODES = 4
+PER_NODE_MRPS = 22.0
+REQUESTS_PER_NODE = 8_000
+
+
+def scheme_comparison() -> None:
+    print(
+        f"— {NODES} nodes x 16 cores, each offered {PER_NODE_MRPS} MRPS "
+        f"(HERD service times) —"
+    )
+    for factory, name in ((Partitioned, "16x1 per node"),
+                          (SingleQueue, "1x16 per node")):
+        cluster = Cluster(num_nodes=NODES, scheme_factory=factory, seed=11)
+        result = cluster.run(
+            per_node_mrps=PER_NODE_MRPS, requests_per_node=REQUESTS_PER_NODE
+        )
+        print(
+            f"  {name:<15} cluster tput = {result.total_throughput_mrps:6.1f} MRPS  "
+            f"p99 = {result.p99_ns / 1e3:5.2f}µs  "
+            f"node imbalance = {result.imbalance():.3f}"
+        )
+
+
+def fabric_comparison() -> None:
+    print("\n— fabric topology: uniform rack vs two pods —")
+    for fabric, name in (
+        (None, "uniform 100ns"),
+        (
+            PodFabric(NODES, pod_size=2, intra_pod_ns=60.0, inter_pod_ns=900.0),
+            "2 pods (60/900ns)",
+        ),
+    ):
+        cluster = Cluster(num_nodes=NODES, fabric=fabric, seed=11)
+        result = cluster.run(
+            per_node_mrps=PER_NODE_MRPS, requests_per_node=REQUESTS_PER_NODE
+        )
+        worst_stall = max(result.stall_fractions)
+        print(
+            f"  {name:<18} p99 = {result.p99_ns / 1e3:5.2f}µs  "
+            f"worst node stall fraction = {worst_stall:.4f}"
+        )
+    print(
+        "\nServer-side latency (NI reception → replenish) is fabric-"
+        "independent; slower fabrics instead show up as slower slot "
+        "recycling — sender stalls appear once the per-pair "
+        "bandwidth-delay product outgrows S."
+    )
+
+
+def main() -> None:
+    scheme_comparison()
+    fabric_comparison()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""Core interference injection (§3.2's tail-inducing events).
+
+"Unpredictable tail-inducing events for these short-lived RPCs often
+disrupt application execution for periods of time that are comparable
+to the RPCs themselves. For example, the extra latency imposed by TLB
+misses or context switches spans from a few hundred ns to a few µs."
+
+These models inject exactly such disruptions into simulated cores so
+experiments can measure how each balancing scheme *absorbs* them —
+RPCValet's motivating scenario ("While this core is stalled ... it is
+best to dispatch RPCs to other available cores"). A stalled core under
+RPCValet holds at most its threshold's worth of RPCs; under 16×1 the
+static hash keeps feeding it.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["InterferenceModel", "PeriodicStragglers", "RandomStalls"]
+
+
+class InterferenceModel(abc.ABC):
+    """Per-core execution disruptions."""
+
+    @abc.abstractmethod
+    def pause_ns(
+        self, core_id: int, now_ns: float, rng: np.random.Generator
+    ) -> float:
+        """Extra stall to charge the core before its next RPC.
+
+        Called once per request pickup; returns 0 when the core is
+        currently unaffected.
+        """
+
+
+class PeriodicStragglers(InterferenceModel):
+    """Selected cores stall for ``pause_ns`` every ``period_ns``.
+
+    Models a recurring disruption pinned to specific cores — e.g. a
+    core sharing its SMT sibling with a batch job, or periodic
+    housekeeping (§ 3.2's interference class with a deterministic
+    cadence).
+    """
+
+    def __init__(
+        self,
+        core_ids: Sequence[int],
+        period_ns: float,
+        pause_ns: float,
+    ) -> None:
+        if period_ns <= 0 or pause_ns <= 0:
+            raise ValueError("period and pause must be positive")
+        if not core_ids:
+            raise ValueError("need at least one straggler core")
+        self.core_ids = frozenset(int(core) for core in core_ids)
+        self.period_ns = float(period_ns)
+        self.pause_ns_value = float(pause_ns)
+        self._next_pause = {core: period_ns for core in self.core_ids}
+
+    def pause_ns(self, core_id, now_ns, rng):
+        if core_id not in self.core_ids:
+            return 0.0
+        if now_ns < self._next_pause[core_id]:
+            return 0.0
+        self._next_pause[core_id] = now_ns + self.period_ns
+        return self.pause_ns_value
+
+    @property
+    def degradation(self) -> float:
+        """Fraction of an affected core's time lost to stalls."""
+        return self.pause_ns_value / (self.pause_ns_value + self.period_ns)
+
+
+class RandomStalls(InterferenceModel):
+    """Every core suffers i.i.d. random stalls (TLB misses, interrupts).
+
+    Each request pickup has probability ``probability`` of paying an
+    exponentially distributed stall with mean ``mean_pause_ns`` — the
+    memoryless version of §3.2's few-hundred-ns-to-few-µs events.
+    """
+
+    def __init__(
+        self,
+        probability: float,
+        mean_pause_ns: float,
+        core_ids: Optional[Sequence[int]] = None,
+    ) -> None:
+        if not 0 < probability <= 1:
+            raise ValueError(f"probability must be in (0,1], got {probability!r}")
+        if mean_pause_ns <= 0:
+            raise ValueError(f"mean_pause_ns must be positive, got {mean_pause_ns!r}")
+        self.probability = probability
+        self.mean_pause_ns = mean_pause_ns
+        self.core_ids = (
+            frozenset(int(core) for core in core_ids)
+            if core_ids is not None
+            else None
+        )
+
+    def pause_ns(self, core_id, now_ns, rng):
+        if self.core_ids is not None and core_id not in self.core_ids:
+            return 0.0
+        if rng.uniform() >= self.probability:
+            return 0.0
+        return float(rng.exponential(self.mean_pause_ns))

@@ -1,0 +1,77 @@
+"""2D-mesh on-chip interconnect latency model.
+
+The Manycore NI architecture (Fig. 4) places one NI backend per mesh
+row at the chip's edge; NI frontends are collocated with each core's
+tile. Latency between any two agents is hop-count × per-hop latency
+(Table 1: 3 cycles/hop). Contention on the mesh is not modeled — at the
+paper's message rates the 16-byte-link mesh is far from saturated, and
+the paper treats the indirection cost as "a few ns" of pure latency.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .config import ChipConfig
+
+__all__ = ["Mesh"]
+
+
+class Mesh:
+    """Hop distances between cores and NI backends on the tiled chip."""
+
+    def __init__(self, config: ChipConfig) -> None:
+        self.config = config
+        self._rows = config.mesh_rows
+        self._cols = config.mesh_cols
+        self._hop_ns = config.mesh_hop_ns
+
+    def core_position(self, core_id: int) -> Tuple[int, int]:
+        """(row, col) tile of a core (row-major numbering)."""
+        if not 0 <= core_id < self.config.num_cores:
+            raise ValueError(f"core_id {core_id!r} out of range")
+        return divmod(core_id, self._cols)
+
+    def backend_position(self, backend_id: int) -> Tuple[int, int]:
+        """(row, col) of a backend: at column -1 of its assigned row.
+
+        Backends are spread evenly across rows; with 4 backends on a
+        4-row chip, backend *b* sits at the edge of row *b*.
+        """
+        if not 0 <= backend_id < self.config.num_backends:
+            raise ValueError(f"backend_id {backend_id!r} out of range")
+        row = backend_id * self._rows // self.config.num_backends
+        return (row, -1)
+
+    def hops(self, a: Tuple[int, int], b: Tuple[int, int]) -> int:
+        """Manhattan hop count between two tile positions."""
+        return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+    def backend_to_core_ns(self, backend_id: int, core_id: int) -> float:
+        """Latency of a packet from a backend to a core's frontend."""
+        return self._hop_ns * self.hops(
+            self.backend_position(backend_id), self.core_position(core_id)
+        )
+
+    def core_to_backend_ns(self, core_id: int, backend_id: int) -> float:
+        """Latency of a packet from a core's frontend to a backend."""
+        return self.backend_to_core_ns(backend_id, core_id)
+
+    def backend_to_backend_ns(self, src: int, dst: int) -> float:
+        """Latency of the completion-packet forward between backends.
+
+        This is the §4.3 indirection from any NI backend to the NI
+        dispatcher. Backends sit on the same edge column, so the
+        distance is their row gap.
+        """
+        return self._hop_ns * self.hops(
+            self.backend_position(src), self.backend_position(dst)
+        )
+
+    def mean_backend_to_core_ns(self, backend_id: int) -> float:
+        """Average dispatch latency from one backend to all cores."""
+        total = sum(
+            self.backend_to_core_ns(backend_id, core)
+            for core in range(self.config.num_cores)
+        )
+        return total / self.config.num_cores

@@ -1,0 +1,54 @@
+"""Protocol-level helpers: building send operations (§4.2).
+
+The wire protocol itself is latency-modeled inside
+:mod:`repro.arch.backend`; this module provides the sender-side
+constructor that computes packetization (a message unrolls into
+cache-block packets, each carrying the total message size in its
+header so the receiving NI can detect completion).
+"""
+
+from __future__ import annotations
+
+from .config import ChipConfig
+from .packets import Replenish, SendMessage
+
+__all__ = ["make_send", "make_replenish"]
+
+
+def make_send(
+    config: ChipConfig,
+    msg_id: int,
+    src_node: int,
+    slot: int,
+    size_bytes: int,
+    service_ns: float,
+    label: str = "rpc",
+) -> SendMessage:
+    """Build a send operation, packetized per the chip's MTU.
+
+    Oversized payloads (> ``max_msg_bytes``) are *not* rejected: the
+    chip converts them to a rendezvous transfer on arrival (§4.2).
+    """
+    if not 0 <= src_node < config.num_remote_nodes:
+        raise ValueError(f"src_node {src_node!r} out of range")
+    if not 0 <= slot < config.send_slots_per_node:
+        raise ValueError(f"slot {slot!r} out of range")
+    num_packets = config.packets_for(min(size_bytes, config.max_msg_bytes))
+    return SendMessage(
+        msg_id=msg_id,
+        src_node=src_node,
+        slot=slot,
+        size_bytes=size_bytes,
+        num_packets=num_packets,
+        service_ns=service_ns,
+        label=label,
+    )
+
+
+def make_replenish(msg: SendMessage) -> Replenish:
+    """Build the replenish credit for a consumed send (§4.2).
+
+    The target send-buffer slot is "trivially deduced from the receive
+    buffer index the corresponding send was retrieved from".
+    """
+    return Replenish(src_node=msg.src_node, slot=msg.slot, core_id=msg.core_id)

@@ -1,0 +1,73 @@
+"""Queue pairs: the VIA-style CPU↔NI interface (§3.1).
+
+Each core owns one QP: a Work Queue the core writes WQEs into and a
+Completion Queue the NI writes CQEs into. In the simulator the CQ is
+the core's private request inbox (the object the paper's step 8 writes
+into); the WQ exists for API completeness — the microbenchmark folds
+WQE-write costs into its per-request issue costs, but examples and
+tests exercise the WQ path explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..sim import Environment, Store
+
+__all__ = ["QueuePair", "WorkQueueEntry", "CompletionQueueEntry"]
+
+
+class WorkQueueEntry:
+    """A WQE: one command the core posts to the NI."""
+
+    __slots__ = ("op", "payload")
+
+    def __init__(self, op: str, payload: Any = None) -> None:
+        if op not in ("send", "replenish", "read", "write"):
+            raise ValueError(f"unknown WQ operation {op!r}")
+        self.op = op
+        self.payload = payload
+
+    def __repr__(self) -> str:
+        return f"<WQE {self.op}>"
+
+
+class CompletionQueueEntry:
+    """A CQE: one notification the NI writes for the core."""
+
+    __slots__ = ("kind", "payload")
+
+    def __init__(self, kind: str, payload: Any = None) -> None:
+        self.kind = kind
+        self.payload = payload
+
+    def __repr__(self) -> str:
+        return f"<CQE {self.kind}>"
+
+
+class QueuePair:
+    """One core's private WQ/CQ pair.
+
+    The CQ is unbounded: under the paper's 16×1 configuration all
+    queueing happens here, and under RPCValet the dispatcher's
+    outstanding-limit (not the CQ capacity) bounds its depth — which
+    tests assert.
+    """
+
+    def __init__(self, env: Environment, core_id: int) -> None:
+        self.core_id = core_id
+        self.wq: Store = Store(env)
+        self.cq: Store = Store(env)
+        #: High-water mark of CQ depth, for the single-queue invariant.
+        self.max_cq_depth = 0
+
+    def post_cqe(self, item: Any) -> None:
+        """NI-side: write a completion entry into the core's CQ."""
+        self.cq.put(item)
+        depth = len(self.cq)
+        if depth > self.max_cq_depth:
+            self.max_cq_depth = depth
+
+    def post_wqe(self, item: Any) -> None:
+        """Core-side: enqueue a work request for the NI."""
+        self.wq.put(item)

@@ -1,0 +1,33 @@
+"""Load-balancing schemes: RPCValet, grouped, partitioned, software."""
+
+from .base import BalancingScheme, Dispatcher
+from .hardware import DEFAULT_OUTSTANDING_LIMIT, Grouped, Partitioned, SingleQueue
+from .policies import (
+    LeastOutstanding,
+    RandomAvailable,
+    RoundRobinAvailable,
+    SelectionPolicy,
+    make_policy,
+)
+from .software import (
+    DEFAULT_CRITICAL_NS,
+    DEFAULT_HANDOFF_NS,
+    SoftwareSingleQueue,
+)
+
+__all__ = [
+    "BalancingScheme",
+    "Dispatcher",
+    "SingleQueue",
+    "Grouped",
+    "Partitioned",
+    "SoftwareSingleQueue",
+    "DEFAULT_OUTSTANDING_LIMIT",
+    "DEFAULT_HANDOFF_NS",
+    "DEFAULT_CRITICAL_NS",
+    "SelectionPolicy",
+    "LeastOutstanding",
+    "RoundRobinAvailable",
+    "RandomAvailable",
+    "make_policy",
+]

@@ -1,0 +1,13 @@
+"""Multi-node cluster simulation (beyond the paper's single-chip setup)."""
+
+from .cluster import Cluster, ClusterNode, ClusterResult
+from .fabric import Fabric, PodFabric, UniformFabric
+
+__all__ = [
+    "Cluster",
+    "ClusterNode",
+    "ClusterResult",
+    "Fabric",
+    "UniformFabric",
+    "PodFabric",
+]

@@ -1,0 +1,259 @@
+"""Multi-node cluster simulation: several modeled chips, all-to-all RPCs.
+
+The paper's methodology models one chip and emulates its peers with a
+traffic generator. This package closes the loop: every node is a full
+simulated chip (cores, NIs, dispatcher, messaging buffers), each node
+generates open-loop Poisson RPC traffic to uniformly random peers, and
+send-slot flow control plus replenish routing run across a fabric with
+per-pair latencies. It answers deployment-level questions the
+single-chip setup cannot: end-to-end behaviour when every node is both
+client and server, and sensitivity to fabric topology.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..arch import Chip, ChipConfig, SendMessage, make_send
+from ..balancing import BalancingScheme, SingleQueue
+from ..metrics import LatencySummary
+from ..sim import Environment, RngRegistry, delayed_call
+from ..workloads import MicrobenchCosts, MicrobenchProgram, RpcWorkload
+from .fabric import Fabric, UniformFabric
+
+__all__ = ["Cluster", "ClusterNode", "ClusterResult"]
+
+
+def _peer_index(sender: int, receiver: int) -> int:
+    """The sender's index in the receiver's messaging domain.
+
+    A node's domain covers its N-1 peers; node ids skip the receiver
+    itself.
+    """
+    return sender if sender < receiver else sender - 1
+
+
+class ClusterNode:
+    """One node: a full chip plus its client-side traffic state."""
+
+    def __init__(
+        self,
+        cluster: "Cluster",
+        node_id: int,
+        scheme: BalancingScheme,
+    ) -> None:
+        self.cluster = cluster
+        self.node_id = node_id
+        rngs = cluster.rngs.spawn(f"node{node_id}")
+        self._rngs = rngs
+        self.chip = Chip(
+            cluster.env,
+            cluster.config,
+            MicrobenchProgram(cluster.costs),
+            rngs,
+        )
+        scheme.install(self.chip, rngs.stream("dispatch"))
+        self.chip.on_slot_replenished = self._replenish_returned
+        slots = cluster.config.send_slots_per_node
+        #: Free send slots toward each destination node (by node id).
+        self._free_slots: Dict[int, List[int]] = {
+            dst: list(range(slots))
+            for dst in range(cluster.num_nodes)
+            if dst != node_id
+        }
+        self._pending: Dict[int, Deque[Tuple[int, float, str]]] = {}
+        self.generated = 0
+        self.stalled = 0
+        self._next_msg_id = 0
+
+    # -- client side --------------------------------------------------------
+
+    def start_traffic(self, per_node_rps: float, num_requests: int) -> None:
+        self.cluster.env.process(
+            self._generate(per_node_rps, num_requests),
+            name=f"traffic-node{self.node_id}",
+        )
+
+    def _generate(self, per_node_rps: float, num_requests: int):
+        env = self.cluster.env
+        arrival_rng = self._rngs.stream("arrivals")
+        peer_rng = self._rngs.stream("peers")
+        service_rng = self._rngs.stream("service")
+        mean_gap_ns = 1e9 / per_node_rps
+        peers = [n for n in range(self.cluster.num_nodes) if n != self.node_id]
+        workload = self.cluster.workload
+        for _ in range(num_requests):
+            yield env.timeout(arrival_rng.exponential(mean_gap_ns))
+            dst = peers[int(peer_rng.integers(0, len(peers)))]
+            service_ns, label = workload.sample(service_rng)
+            self.generated += 1
+            free = self._free_slots[dst]
+            if free:
+                self._send(dst, free.pop(), service_ns, label)
+            else:
+                self.stalled += 1
+                self._pending.setdefault(dst, deque()).append(
+                    (dst, service_ns, label)
+                )
+
+    def _send(self, dst: int, slot: int, service_ns: float, label: str) -> None:
+        cluster = self.cluster
+        msg = make_send(
+            cluster.config,
+            msg_id=self._next_msg_id,
+            src_node=_peer_index(self.node_id, dst),
+            slot=slot,
+            size_bytes=cluster.workload.request_size_bytes,
+            service_ns=service_ns,
+            label=label,
+        )
+        self._next_msg_id += 1
+        #: Record the true sender for replenish routing.
+        cluster.sender_of[(dst, msg.src_node, msg.slot)] = self.node_id
+        delay = cluster.fabric.latency_ns(self.node_id, dst)
+        target_chip = cluster.nodes[dst].chip
+        delayed_call(cluster.env, delay, target_chip.submit_message, msg)
+
+    # -- server side: replenish routed back to the true sender ---------------
+
+    def _replenish_returned(self, msg: SendMessage) -> None:
+        """Called on the *receiving* chip after its local wire delay.
+
+        Routes the credit across the fabric back to the sender node.
+        (The chip already applied ``config.wire_latency_ns``; the
+        cluster uses zero-wire chips and applies fabric latency here.)
+        """
+        cluster = self.cluster
+        sender_id = cluster.sender_of.pop(
+            (self.node_id, msg.src_node, msg.slot)
+        )
+        delay = cluster.fabric.latency_ns(self.node_id, sender_id)
+        sender = cluster.nodes[sender_id]
+        delayed_call(
+            cluster.env, delay, sender._slot_freed, self.node_id, msg.slot
+        )
+
+    def _slot_freed(self, dst: int, slot: int) -> None:
+        pending = self._pending.get(dst)
+        if pending:
+            _dst, service_ns, label = pending.popleft()
+            self._send(dst, slot, service_ns, label)
+        else:
+            self._free_slots[dst].append(slot)
+
+
+@dataclass
+class ClusterResult:
+    """Aggregate and per-node results of a cluster run."""
+
+    num_nodes: int
+    aggregate: LatencySummary
+    per_node: List[LatencySummary]
+    total_throughput_mrps: float
+    stall_fractions: List[float]
+    completed: int
+
+    @property
+    def p99_ns(self) -> float:
+        return self.aggregate.p99
+
+    def imbalance(self) -> float:
+        """Max/min per-node mean latency — cross-node fairness check."""
+        means = [summary.mean for summary in self.per_node if summary.count]
+        if not means:
+            return float("nan")
+        return max(means) / min(means)
+
+
+class Cluster:
+    """K fully simulated nodes exchanging RPCs over a fabric."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        scheme_factory: Callable[[], BalancingScheme] = SingleQueue,
+        workload: Optional[RpcWorkload] = None,
+        config: Optional[ChipConfig] = None,
+        costs: Optional[MicrobenchCosts] = None,
+        fabric: Optional[Fabric] = None,
+        seed: int = 0,
+        interference_factory: Optional[Callable[[int], object]] = None,
+    ) -> None:
+        if num_nodes < 2:
+            raise ValueError(f"need at least 2 nodes, got {num_nodes!r}")
+        from ..workloads import HerdWorkload
+
+        self.num_nodes = num_nodes
+        self.workload = workload if workload is not None else HerdWorkload()
+        self.costs = costs if costs is not None else MicrobenchCosts.lean()
+        base_config = config if config is not None else ChipConfig()
+        # Each node's messaging domain covers its K-1 peers; fabric
+        # latency replaces the chip's built-in wire delay.
+        self.config = base_config.with_updates(
+            num_nodes=num_nodes, wire_latency_ns=0.0
+        )
+        self.fabric = (
+            fabric if fabric is not None else UniformFabric(num_nodes)
+        )
+        if self.fabric.num_nodes != num_nodes:
+            raise ValueError("fabric and cluster disagree on node count")
+        self.rngs = RngRegistry(seed)
+        self.env = Environment()
+        #: (receiver, sender_perspective_index, slot) → sender node id.
+        self.sender_of: Dict[Tuple[int, int, int], int] = {}
+        self.nodes: List[ClusterNode] = [
+            ClusterNode(self, node_id, scheme_factory())
+            for node_id in range(num_nodes)
+        ]
+        if interference_factory is not None:
+            # Per-node §3.2 interference (e.g. one degraded node):
+            # the factory returns None for healthy nodes.
+            for node in self.nodes:
+                node.chip.interference = interference_factory(node.node_id)
+
+    def run(
+        self,
+        per_node_mrps: float,
+        requests_per_node: int,
+        warmup_fraction: float = 0.1,
+    ) -> ClusterResult:
+        """Drive every node at ``per_node_mrps`` and collect results."""
+        if per_node_mrps <= 0:
+            raise ValueError(f"per_node_mrps must be positive, got {per_node_mrps!r}")
+        if requests_per_node <= 0:
+            raise ValueError(
+                f"requests_per_node must be positive, got {requests_per_node!r}"
+            )
+        for node in self.nodes:
+            node.start_traffic(per_node_mrps * 1e6, requests_per_node)
+        self.env.run()
+
+        per_node = [
+            node.chip.recorder.summary(warmup_fraction=warmup_fraction)
+            for node in self.nodes
+        ]
+        all_latencies = np.concatenate(
+            [
+                node.chip.recorder.latencies(warmup_fraction=warmup_fraction)
+                for node in self.nodes
+            ]
+        )
+        aggregate = LatencySummary.from_values(all_latencies)
+        completed = sum(node.chip.stats.completed for node in self.nodes)
+        elapsed_ns = self.env.now
+        total_mrps = completed / elapsed_ns * 1e3 if elapsed_ns > 0 else 0.0
+        return ClusterResult(
+            num_nodes=self.num_nodes,
+            aggregate=aggregate,
+            per_node=per_node,
+            total_throughput_mrps=total_mrps,
+            stall_fractions=[
+                node.stalled / node.generated if node.generated else 0.0
+                for node in self.nodes
+            ],
+            completed=completed,
+        )

@@ -1,0 +1,84 @@
+"""Inter-node fabric latency model for multi-chip simulations.
+
+The paper's evaluation models one chip and emulates its 199 peers; the
+cluster package simulates several *real* chips exchanging RPCs. The
+fabric supplies pairwise one-way latencies — uniform by default
+(rack-scale soNUMA), or distance-based for multi-rack topologies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["Fabric", "UniformFabric", "PodFabric"]
+
+
+class Fabric:
+    """Pairwise one-way wire latency between nodes."""
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes < 2:
+            raise ValueError(f"need at least 2 nodes, got {num_nodes!r}")
+        self.num_nodes = num_nodes
+
+    def latency_ns(self, src: int, dst: int) -> float:
+        """One-way latency from node ``src`` to node ``dst``."""
+        raise NotImplementedError
+
+    def _check(self, src: int, dst: int) -> None:
+        if not 0 <= src < self.num_nodes:
+            raise ValueError(f"src {src!r} out of range")
+        if not 0 <= dst < self.num_nodes:
+            raise ValueError(f"dst {dst!r} out of range")
+        if src == dst:
+            raise ValueError("no self-loop traffic in the messaging domain")
+
+
+class UniformFabric(Fabric):
+    """Rack-scale: every pair one hop through the ToR switch."""
+
+    def __init__(self, num_nodes: int, latency_ns: float = 100.0) -> None:
+        super().__init__(num_nodes)
+        if latency_ns < 0:
+            raise ValueError(f"latency must be non-negative, got {latency_ns!r}")
+        self._latency_ns = latency_ns
+
+    def latency_ns(self, src: int, dst: int) -> float:
+        self._check(src, dst)
+        return self._latency_ns
+
+
+class PodFabric(Fabric):
+    """Two-tier topology: cheap intra-pod hops, expensive inter-pod.
+
+    Nodes are grouped into equal pods; same-pod pairs pay
+    ``intra_pod_ns``, others ``inter_pod_ns``. Models a small
+    multi-rack deployment.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        pod_size: int,
+        intra_pod_ns: float = 100.0,
+        inter_pod_ns: float = 500.0,
+    ) -> None:
+        super().__init__(num_nodes)
+        if pod_size < 1:
+            raise ValueError(f"pod_size must be >= 1, got {pod_size!r}")
+        if intra_pod_ns < 0 or inter_pod_ns < 0:
+            raise ValueError("latencies must be non-negative")
+        self.pod_size = pod_size
+        self.intra_pod_ns = intra_pod_ns
+        self.inter_pod_ns = inter_pod_ns
+
+    def pod_of(self, node: int) -> int:
+        return node // self.pod_size
+
+    def latency_ns(self, src: int, dst: int) -> float:
+        self._check(src, dst)
+        if self.pod_of(src) == self.pod_of(dst):
+            return self.intra_pod_ns
+        return self.inter_pod_ns

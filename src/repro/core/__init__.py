@@ -1,0 +1,13 @@
+"""Top-level public API: assemble and run RPCValet systems."""
+
+from .presets import SCHEME_NAMES, make_scheme, make_system, make_workload
+from .system import PointResult, RpcValetSystem
+
+__all__ = [
+    "RpcValetSystem",
+    "PointResult",
+    "make_scheme",
+    "make_workload",
+    "make_system",
+    "SCHEME_NAMES",
+]

@@ -1,0 +1,79 @@
+"""Named experiment configurations matching the paper's setups."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..balancing import (
+    BalancingScheme,
+    Grouped,
+    Partitioned,
+    SingleQueue,
+    SoftwareSingleQueue,
+)
+from ..workloads import (
+    HerdWorkload,
+    MasstreeWorkload,
+    MicrobenchCosts,
+    RpcWorkload,
+    SyntheticWorkload,
+)
+from .system import RpcValetSystem
+
+__all__ = ["make_scheme", "make_workload", "make_system", "SCHEME_NAMES"]
+
+#: Scheme names as the paper labels them (16-core chip).
+SCHEME_NAMES = ("1x16", "4x4", "16x1", "sw-1x16", "2x8", "8x2")
+
+
+def make_scheme(name: str) -> BalancingScheme:
+    """Build a balancing scheme from a paper-style Q×U label."""
+    if name == "1x16":
+        return SingleQueue()
+    if name == "sw-1x16":
+        return SoftwareSingleQueue()
+    if name == "16x1":
+        return Partitioned()
+    if name in ("4x4", "2x8", "8x2"):
+        num_groups = int(name.split("x")[0])
+        return Grouped(num_groups)
+    raise ValueError(f"unknown scheme {name!r}; expected one of {SCHEME_NAMES}")
+
+
+def make_workload(name: str) -> RpcWorkload:
+    """Build a workload: 'herd', 'masstree', or 'synthetic-<kind>'."""
+    if name == "herd":
+        return HerdWorkload()
+    if name == "masstree":
+        return MasstreeWorkload()
+    if name.startswith("synthetic-"):
+        return SyntheticWorkload(name.split("-", 1)[1])
+    raise ValueError(
+        f"unknown workload {name!r}; expected 'herd', 'masstree', or 'synthetic-<kind>'"
+    )
+
+
+def make_system(
+    scheme: str,
+    workload: str,
+    seed: int = 0,
+    costs: Optional[MicrobenchCosts] = None,
+) -> RpcValetSystem:
+    """Assemble a system the way the paper's experiments do.
+
+    Synthetic workloads default to the heavier ``paper_synthetic``
+    costs (S̄ ≈ 1.2µs); HERD/Masstree use the ``lean`` costs
+    (S̄ ≈ 550ns for HERD). See DESIGN.md §5.
+    """
+    workload_obj = make_workload(workload)
+    if costs is None:
+        if workload.startswith("synthetic-"):
+            costs = MicrobenchCosts.paper_synthetic()
+        else:
+            costs = MicrobenchCosts.lean()
+    return RpcValetSystem(
+        scheme=make_scheme(scheme),
+        workload=workload_obj,
+        costs=costs,
+        seed=seed,
+    )

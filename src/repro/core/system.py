@@ -1,0 +1,205 @@
+"""RpcValetSystem: the library's top-level entry point.
+
+Assembles the full simulated server — chip, balancing scheme, workload,
+traffic generator — and runs load points / sweeps, producing the same
+(throughput, p99) series the paper's figures plot.
+
+Example
+-------
+>>> from repro import RpcValetSystem, SingleQueue, SyntheticWorkload
+>>> system = RpcValetSystem(
+...     scheme=SingleQueue(),
+...     workload=SyntheticWorkload("exponential"),
+...     seed=1,
+... )
+>>> point = system.run_point(offered_mrps=8.0, num_requests=20_000)
+>>> point.p99 > 0
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..arch import Chip, ChipConfig, DEFAULT_CONFIG
+from ..balancing import BalancingScheme
+from ..metrics import LatencySummary, SweepPoint, SweepResult
+from ..sim import Environment, RngRegistry
+from ..workloads import (
+    MicrobenchCosts,
+    MicrobenchProgram,
+    RpcWorkload,
+    TrafficGenerator,
+)
+
+__all__ = ["RpcValetSystem", "PointResult"]
+
+
+@dataclass
+class PointResult:
+    """Full result of one load point (more detail than a SweepPoint)."""
+
+    point: SweepPoint
+    mean_service_ns: float
+    stall_fraction: float
+    max_private_cq_depth: int
+    max_shared_cq_depth: int
+    completed: int
+    #: Per-request records, populated when run with keep_messages=True.
+    messages: Optional[list] = None
+
+    @property
+    def p99(self) -> float:
+        return self.point.p99
+
+
+class RpcValetSystem:
+    """One modeled server under one balancing scheme and workload."""
+
+    def __init__(
+        self,
+        scheme: BalancingScheme,
+        workload: RpcWorkload,
+        config: ChipConfig = DEFAULT_CONFIG,
+        costs: Optional[MicrobenchCosts] = None,
+        seed: int = 0,
+        slot_policy: str = "static",
+        pool_size: Optional[int] = None,
+        source_skew: float = 0.0,
+        interference=None,
+    ) -> None:
+        self.scheme = scheme
+        self.workload = workload
+        self.config = config
+        self.costs = costs if costs is not None else MicrobenchCosts.lean()
+        self.seed = seed
+        #: Send-slot provisioning: "static" (paper §4.2) or "dynamic"
+        #: (the shared-pool future-work extension).
+        self.slot_policy = slot_policy
+        self.pool_size = pool_size
+        #: Zipf-like exponent over sender ranks (0 = paper's uniform).
+        self.source_skew = source_skew
+        #: Optional §3.2 interference injection (see repro.arch.interference).
+        self.interference = interference
+
+    @property
+    def label(self) -> str:
+        return self.scheme.label
+
+    @property
+    def expected_service_ns(self) -> float:
+        """A-priori S̄: workload mean + microbenchmark overhead.
+
+        The measured S̄ (PointResult.mean_service_ns) additionally
+        includes scheme-imposed core overheads (software dequeue cost)
+        and rendezvous fetches.
+        """
+        return self.workload.mean_processing_ns + self.costs.total_ns
+
+    def _build(self, rngs: RngRegistry) -> Chip:
+        env = Environment()
+        program = MicrobenchProgram(
+            self.costs, reply_size_bytes=self.workload.reply_size_bytes
+        )
+        chip = Chip(env, self.config, program, rngs)
+        chip.interference = self.interference
+        self.scheme.install(chip, rngs.stream("dispatch"))
+        return chip
+
+    def run_point(
+        self,
+        offered_mrps: float,
+        num_requests: int = 50_000,
+        warmup_fraction: float = 0.1,
+        keep_messages: bool = False,
+    ) -> PointResult:
+        """Simulate one offered-load point (in millions of requests/s).
+
+        Returns achieved throughput (MRPS) and the latency summary of
+        the workload's SLO-relevant class, measured per §5: from the
+        message's reception at the NI until the replenish is posted.
+        ``keep_messages`` retains the per-request records on the result
+        for stage-level analysis (:func:`repro.metrics.breakdown_from_messages`).
+        """
+        if offered_mrps <= 0:
+            raise ValueError(f"offered_mrps must be positive, got {offered_mrps!r}")
+        if num_requests <= 0:
+            raise ValueError(f"num_requests must be positive, got {num_requests!r}")
+        rngs = RngRegistry(self.seed)
+        chip = self._build(rngs)
+        if keep_messages:
+            chip.completed_messages = []
+        traffic = TrafficGenerator(
+            chip,
+            self.workload,
+            arrival_rate_rps=offered_mrps * 1e6,
+            num_requests=num_requests,
+            rngs=rngs,
+            slot_policy=self.slot_policy,
+            pool_size=self.pool_size,
+            source_skew=self.source_skew,
+        )
+        chip.env.run()
+
+        recorder = chip.recorder
+        label = self.workload.slo_label
+        if label not in recorder.labels:
+            # Single-class workloads record everything under "rpc".
+            label = None
+        summary = recorder.summary(label=label, warmup_fraction=warmup_fraction)
+        # Achieved throughput counts *all* completions (gets + scans).
+        # Recorder times are in ns, so per-ns rate * 1e3 = MRPS.
+        throughput_mrps = (
+            recorder.throughput(
+                warmup_time=_warmup_cutoff(recorder, warmup_fraction)
+            )
+            * 1e3
+        )
+        point = SweepPoint(
+            offered_load=offered_mrps,
+            achieved_throughput=throughput_mrps,
+            summary=summary,
+            extra={
+                "mean_service_ns": chip.stats.mean_service_ns,
+                "stall_fraction": traffic.stall_fraction,
+            },
+        )
+        max_shared = max(
+            dispatcher.max_shared_cq_depth for dispatcher in chip.dispatchers
+        )
+        return PointResult(
+            point=point,
+            mean_service_ns=chip.stats.mean_service_ns,
+            stall_fraction=traffic.stall_fraction,
+            max_private_cq_depth=chip.total_cqe_depth_high_water,
+            max_shared_cq_depth=max_shared,
+            completed=chip.stats.completed,
+            messages=chip.completed_messages,
+        )
+
+    def sweep(
+        self,
+        offered_mrps: Sequence[float],
+        num_requests: int = 50_000,
+        warmup_fraction: float = 0.1,
+        label: Optional[str] = None,
+    ) -> SweepResult:
+        """Run several load points and return the throughput/p99 curve."""
+        points = [
+            self.run_point(
+                load, num_requests=num_requests, warmup_fraction=warmup_fraction
+            ).point
+            for load in sorted(offered_mrps)
+        ]
+        return SweepResult(label=label or self.label, points=points)
+
+
+def _warmup_cutoff(recorder, warmup_fraction: float) -> float:
+    """Absolute completion-time cutoff matching a warmup fraction."""
+    import numpy as np
+
+    if warmup_fraction <= 0 or len(recorder) == 0:
+        return 0.0
+    times = np.asarray(recorder._times)
+    return float(np.quantile(times, warmup_fraction))

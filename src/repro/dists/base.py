@@ -1,0 +1,141 @@
+"""Distribution protocol used by every service-time / workload model.
+
+The paper's experiments are parameterized by *processing-time
+distributions* (§5, Fig. 6). This module defines the small interface
+all of them implement, plus generic transformations (shift/scale) used
+to express the paper's "300ns base + 300ns-mean extra" construction.
+
+All distributions sample via an explicitly passed
+``numpy.random.Generator`` so that reproducibility is controlled by the
+caller (see :class:`repro.sim.RngRegistry`).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["Distribution", "Shifted", "Scaled"]
+
+
+class Distribution(abc.ABC):
+    """A non-negative continuous distribution of times (unit-agnostic)."""
+
+    #: Short human-readable identifier ("fixed", "gev", ...).
+    name: str = "distribution"
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one value."""
+
+    def sample_array(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` values (vectorized where the subclass supports it)."""
+        return np.array([self.sample(rng) for _ in range(n)], dtype=float)
+
+    @property
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Expected value."""
+
+    @property
+    @abc.abstractmethod
+    def variance(self) -> float:
+        """Variance; may be ``inf`` for heavy-tailed distributions."""
+
+    @property
+    def std(self) -> float:
+        """Standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def cv2(self) -> float:
+        """Squared coefficient of variation (variance / mean²).
+
+        The paper's §2.2 observation — the 1×16 vs 16×1 gap grows with
+        service-time variability — is naturally ordered by this value:
+        fixed (0) < uniform < exponential (1) < GEV.
+        """
+        mu = self.mean
+        if mu == 0:
+            return 0.0
+        return self.variance / (mu * mu)
+
+    def pdf(self, x: np.ndarray) -> np.ndarray:
+        """Probability density at ``x`` (used to regenerate Fig. 6).
+
+        Subclasses without a closed form may raise
+        ``NotImplementedError``.
+        """
+        raise NotImplementedError(f"{self.name} has no closed-form pdf")
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name} mean={self.mean:.4g}>"
+
+
+class Shifted(Distribution):
+    """``offset + X`` for an inner distribution ``X``.
+
+    Used for the paper's synthetic processing times: a 300ns fixed base
+    plus a variable extra part.
+    """
+
+    def __init__(self, inner: Distribution, offset: float, name: Optional[str] = None) -> None:
+        if offset < 0:
+            raise ValueError(f"offset must be non-negative, got {offset!r}")
+        self.inner = inner
+        self.offset = float(offset)
+        self.name = name or f"{inner.name}+{offset:g}"
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.offset + self.inner.sample(rng)
+
+    def sample_array(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return self.offset + self.inner.sample_array(rng, n)
+
+    @property
+    def mean(self) -> float:
+        return self.offset + self.inner.mean
+
+    @property
+    def variance(self) -> float:
+        return self.inner.variance
+
+    def pdf(self, x: np.ndarray) -> np.ndarray:
+        return self.inner.pdf(np.asarray(x, dtype=float) - self.offset)
+
+
+class Scaled(Distribution):
+    """``factor * X`` for an inner distribution ``X``.
+
+    Lets one distribution shape be reused at different time scales
+    (e.g. normalizing a model to unit mean for the theoretical queueing
+    experiments).
+    """
+
+    def __init__(self, inner: Distribution, factor: float, name: Optional[str] = None) -> None:
+        if factor <= 0:
+            raise ValueError(f"factor must be positive, got {factor!r}")
+        self.inner = inner
+        self.factor = float(factor)
+        self.name = name or f"{inner.name}x{factor:g}"
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.factor * self.inner.sample(rng)
+
+    def sample_array(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return self.factor * self.inner.sample_array(rng, n)
+
+    @property
+    def mean(self) -> float:
+        return self.factor * self.inner.mean
+
+    @property
+    def variance(self) -> float:
+        return self.factor * self.factor * self.inner.variance
+
+    def pdf(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        return self.inner.pdf(x / self.factor) / self.factor

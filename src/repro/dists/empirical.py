@@ -1,0 +1,122 @@
+"""Empirical distributions: replay of measured samples or histograms.
+
+The paper collects HERD and Masstree processing-time histograms on real
+hardware and replays them in the microbenchmark. We do not have the raw
+measurements, so :mod:`repro.dists.catalog` builds parametric stand-ins
+— but downstream users who *do* have measured samples can plug them in
+here and run every experiment unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .base import Distribution
+
+__all__ = ["Empirical", "HistogramDistribution"]
+
+
+class Empirical(Distribution):
+    """Resamples (with replacement) from a fixed set of observations."""
+
+    name = "empirical"
+
+    def __init__(self, samples: Sequence[float], name: str = "empirical") -> None:
+        data = np.asarray(list(samples), dtype=float)
+        if data.size == 0:
+            raise ValueError("need at least one sample")
+        if np.any(data < 0):
+            raise ValueError("samples must be non-negative times")
+        self._data = data
+        self.name = name
+
+    @property
+    def observations(self) -> np.ndarray:
+        """Copy of the underlying observations."""
+        return self._data.copy()
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(self._data[rng.integers(0, self._data.size)])
+
+    def sample_array(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return self._data[rng.integers(0, self._data.size, size=n)]
+
+    @property
+    def mean(self) -> float:
+        return float(self._data.mean())
+
+    @property
+    def variance(self) -> float:
+        return float(self._data.var())
+
+    def percentile(self, q: float) -> float:
+        """Percentile of the observed data (q in [0, 100])."""
+        return float(np.percentile(self._data, q))
+
+
+class HistogramDistribution(Distribution):
+    """Samples from a binned histogram (uniform within each bin).
+
+    Accepts the ``(counts, bin_edges)`` pair produced by
+    ``numpy.histogram``, which is the natural format for published
+    figures like the paper's Fig. 6b.
+    """
+
+    name = "histogram"
+
+    def __init__(
+        self,
+        counts: Sequence[float],
+        bin_edges: Sequence[float],
+        name: str = "histogram",
+    ) -> None:
+        counts_arr = np.asarray(list(counts), dtype=float)
+        edges = np.asarray(list(bin_edges), dtype=float)
+        if edges.size != counts_arr.size + 1:
+            raise ValueError(
+                f"need len(bin_edges) == len(counts)+1, got {edges.size} and {counts_arr.size}"
+            )
+        if np.any(np.diff(edges) <= 0):
+            raise ValueError("bin_edges must be strictly increasing")
+        if np.any(counts_arr < 0) or counts_arr.sum() <= 0:
+            raise ValueError("counts must be non-negative with positive total")
+        self._edges = edges
+        self._probs = counts_arr / counts_arr.sum()
+        self.name = name
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(self.sample_array(rng, 1)[0])
+
+    def sample_array(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        bins = rng.choice(self._probs.size, size=n, p=self._probs)
+        left = self._edges[bins]
+        right = self._edges[bins + 1]
+        return rng.uniform(left, right)
+
+    @property
+    def mean(self) -> float:
+        centers = 0.5 * (self._edges[:-1] + self._edges[1:])
+        return float(np.dot(self._probs, centers))
+
+    @property
+    def variance(self) -> float:
+        centers = 0.5 * (self._edges[:-1] + self._edges[1:])
+        widths = np.diff(self._edges)
+        # Within-bin uniform variance + between-bin variance.
+        second_moment = np.dot(
+            self._probs, centers**2 + widths**2 / 12.0
+        )
+        return float(second_moment - self.mean**2)
+
+    def pdf(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        densities = self._probs / np.diff(self._edges)
+        result = np.zeros_like(x)
+        bin_index = np.searchsorted(self._edges, x, side="right") - 1
+        inside = (bin_index >= 0) & (bin_index < densities.size) & (
+            x <= self._edges[-1]
+        )
+        result[inside] = densities[bin_index[inside]]
+        return result

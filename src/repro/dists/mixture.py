@@ -1,0 +1,92 @@
+"""Finite mixtures of distributions.
+
+The Masstree workload (Fig. 6c + Fig. 7b) is a two-class mixture: 99%
+short ``get`` operations and 1% long ``scan`` operations. The mixture
+distribution both samples values and reports which component produced
+each sample (the experiments need to compute the gets-only p99).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .base import Distribution
+
+__all__ = ["Mixture"]
+
+
+class Mixture(Distribution):
+    """Mixture of ``(weight, distribution)`` components.
+
+    Weights must be positive; they are normalized to sum to 1.
+    """
+
+    name = "mixture"
+
+    def __init__(
+        self,
+        components: Sequence[Tuple[float, Distribution]],
+        name: str = "mixture",
+    ) -> None:
+        if not components:
+            raise ValueError("mixture needs at least one component")
+        weights = np.array([w for w, _dist in components], dtype=float)
+        if np.any(weights <= 0):
+            raise ValueError(f"weights must be positive, got {weights.tolist()}")
+        self.weights = weights / weights.sum()
+        self.components: List[Distribution] = [dist for _w, dist in components]
+        self.name = name
+
+    def sample(self, rng: np.random.Generator) -> float:
+        index = int(rng.choice(len(self.components), p=self.weights))
+        return self.components[index].sample(rng)
+
+    def sample_with_component(self, rng: np.random.Generator) -> Tuple[float, int]:
+        """Sample a value and the index of the component that produced it."""
+        index = int(rng.choice(len(self.components), p=self.weights))
+        return self.components[index].sample(rng), index
+
+    def sample_array(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        values, _indices = self.sample_array_with_components(rng, n)
+        return values
+
+    def sample_array_with_components(
+        self, rng: np.random.Generator, n: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized sampling returning ``(values, component_indices)``."""
+        indices = rng.choice(len(self.components), size=n, p=self.weights)
+        values = np.empty(n, dtype=float)
+        for component_index, dist in enumerate(self.components):
+            mask = indices == component_index
+            count = int(mask.sum())
+            if count:
+                values[mask] = dist.sample_array(rng, count)
+        return values, indices
+
+    @property
+    def mean(self) -> float:
+        return float(
+            sum(w * d.mean for w, d in zip(self.weights, self.components))
+        )
+
+    @property
+    def variance(self) -> float:
+        # Law of total variance: E[Var] + Var[E].
+        mean = self.mean
+        expected_var = sum(
+            w * d.variance for w, d in zip(self.weights, self.components)
+        )
+        var_of_means = sum(
+            w * (d.mean - mean) ** 2
+            for w, d in zip(self.weights, self.components)
+        )
+        return float(expected_var + var_of_means)
+
+    def pdf(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        total = np.zeros_like(x)
+        for w, dist in zip(self.weights, self.components):
+            total += w * dist.pdf(x)
+        return total

@@ -1,0 +1,75 @@
+"""Experiment drivers: one per paper table/figure (see DESIGN.md §4)."""
+
+from .ablations import (
+    run_indirection_ablation,
+    run_outstanding_ablation,
+    run_policy_ablation,
+    run_scalability_ablation,
+    run_slots_ablation,
+    run_straggler_ablation,
+)
+from .cli import EXPERIMENTS, main
+from .common import ExperimentResult, PROFILES, Profile, load_grid
+from .extensions import (
+    run_bursts,
+    run_cluster,
+    run_dynamic_slots,
+    run_hedging,
+    run_preemption,
+    run_rss_spray,
+    run_validate,
+)
+from .fig2 import run_fig2a, run_fig2b, run_fig2c, unit_mean_service
+from .fig6 import distribution_moments, run_fig6
+from .fig7 import run_fig7a, run_fig7b, run_fig7c, sweep_schemes
+from .fig8 import run_fig8
+from .fig9 import model_vs_simulation, run_fig9
+from .headline import run_headline
+from .persistence import (
+    compare_snapshots,
+    load_snapshot,
+    result_to_dict,
+    save_result,
+)
+from .sensitivity import run_sensitivity
+
+__all__ = [
+    "EXPERIMENTS",
+    "main",
+    "ExperimentResult",
+    "Profile",
+    "PROFILES",
+    "load_grid",
+    "run_fig2a",
+    "run_fig2b",
+    "run_fig2c",
+    "run_fig6",
+    "run_fig7a",
+    "run_fig7b",
+    "run_fig7c",
+    "run_fig8",
+    "run_fig9",
+    "run_headline",
+    "run_sensitivity",
+    "result_to_dict",
+    "save_result",
+    "load_snapshot",
+    "compare_snapshots",
+    "run_preemption",
+    "run_hedging",
+    "run_dynamic_slots",
+    "run_validate",
+    "run_cluster",
+    "run_bursts",
+    "run_rss_spray",
+    "run_outstanding_ablation",
+    "run_policy_ablation",
+    "run_indirection_ablation",
+    "run_slots_ablation",
+    "run_scalability_ablation",
+    "run_straggler_ablation",
+    "unit_mean_service",
+    "distribution_moments",
+    "sweep_schemes",
+    "model_vs_simulation",
+]

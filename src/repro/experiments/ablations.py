@@ -1,0 +1,322 @@
+"""Ablations of RPCValet design choices (DESIGN.md §4).
+
+* outstanding-per-core threshold 1 vs 2 (§4.3: threshold 2 removes the
+  execution bubble; reducing to 1 "marginally degrades" short-RPC
+  throughput);
+* dispatcher core-selection policy (greedy vs round-robin vs random);
+* NI-backend→dispatcher indirection latency sensitivity (§4.3 argues
+  it is negligible);
+* send-slot provisioning S (flow-control backpressure appears only
+  near/past saturation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..balancing import SingleQueue
+from ..core import RpcValetSystem
+from ..metrics import format_table
+from ..workloads import HerdWorkload, MicrobenchCosts
+from .common import ExperimentResult, get_profile
+
+__all__ = [
+    "run_outstanding_ablation",
+    "run_policy_ablation",
+    "run_indirection_ablation",
+    "run_slots_ablation",
+    "run_scalability_ablation",
+    "run_straggler_ablation",
+]
+
+#: A high-but-stable HERD load (MRPS) where design choices matter.
+_PROBE_MRPS = 26.0
+
+
+def _herd_point(system: RpcValetSystem, profile: str, mrps: float = _PROBE_MRPS):
+    prof = get_profile(profile)
+    return system.run_point(offered_mrps=mrps, num_requests=prof.arch_requests)
+
+
+def run_outstanding_ablation(profile: str = "quick", seed: int = 0) -> ExperimentResult:
+    """Threshold 1 vs 2 vs 4 on HERD at high load."""
+    rows: List[List[object]] = []
+    data: Dict[int, Dict[str, float]] = {}
+    for limit in (1, 2, 4):
+        system = RpcValetSystem(
+            scheme=SingleQueue(outstanding_limit=limit),
+            workload=HerdWorkload(),
+            costs=MicrobenchCosts.lean(),
+            seed=seed,
+        )
+        res = _herd_point(system, profile)
+        data[limit] = {
+            "p99_ns": res.p99,
+            "mean_ns": res.point.summary.mean,
+            "tput_mrps": res.point.achieved_throughput,
+        }
+        rows.append(
+            [limit, res.point.achieved_throughput, res.point.summary.mean, res.p99]
+        )
+    table = format_table(
+        ["outstanding limit", "tput (MRPS)", "mean (ns)", "p99 (ns)"],
+        rows,
+        title=f"HERD at {_PROBE_MRPS} MRPS offered",
+    )
+    result = ExperimentResult(
+        "ablation-outstanding",
+        "Outstanding-requests-per-core threshold (§4.3)",
+        data={"by_limit": data},
+        tables=[table],
+    )
+    gain = data[1]["p99_ns"] / data[2]["p99_ns"] if data[2]["p99_ns"] else float("nan")
+    result.findings.append(
+        f"threshold 2 vs 1: p99 changes by {gain:.2f}x at high load "
+        "(paper: threshold 1 marginally degrades sub-µs RPC throughput)"
+    )
+    return result
+
+
+def run_policy_ablation(profile: str = "quick", seed: int = 0) -> ExperimentResult:
+    """Greedy (least-outstanding) vs round-robin vs random selection."""
+    rows: List[List[object]] = []
+    data: Dict[str, float] = {}
+    for policy in ("least_outstanding", "round_robin", "random"):
+        system = RpcValetSystem(
+            scheme=SingleQueue(policy=policy),
+            workload=HerdWorkload(),
+            costs=MicrobenchCosts.lean(),
+            seed=seed,
+        )
+        res = _herd_point(system, profile)
+        data[policy] = res.p99
+        rows.append([policy, res.point.achieved_throughput, res.p99])
+    table = format_table(
+        ["policy", "tput (MRPS)", "p99 (ns)"],
+        rows,
+        title=f"HERD at {_PROBE_MRPS} MRPS offered",
+    )
+    result = ExperimentResult(
+        "ablation-policy",
+        "Dispatch core-selection policy",
+        data={"p99_by_policy": data},
+        tables=[table],
+    )
+    result.findings.append(
+        "with the shared-CQ hold semantics, any available core is nearly "
+        "as good: selection policy is second-order (all cores are below "
+        "threshold when selected)"
+    )
+    return result
+
+
+def run_indirection_ablation(profile: str = "quick", seed: int = 0) -> ExperimentResult:
+    """Scale the backend→dispatcher mesh hop latency by 1x/4x/16x."""
+    rows: List[List[object]] = []
+    data: Dict[float, float] = {}
+    base_hop_cycles = 3
+    for scale in (1, 4, 16):
+        system = RpcValetSystem(
+            scheme=SingleQueue(),
+            workload=HerdWorkload(),
+            costs=MicrobenchCosts.lean(),
+            seed=seed,
+        )
+        system.config = system.config.with_updates(
+            mesh_hop_cycles=base_hop_cycles * scale
+        )
+        res = _herd_point(system, profile)
+        data[scale] = res.p99
+        rows.append(
+            [f"{scale}x ({base_hop_cycles * scale} cycles/hop)",
+             res.point.achieved_throughput, res.p99]
+        )
+    table = format_table(
+        ["hop latency", "tput (MRPS)", "p99 (ns)"],
+        rows,
+        title=f"HERD at {_PROBE_MRPS} MRPS offered",
+    )
+    result = ExperimentResult(
+        "ablation-indirection",
+        "NI backend → dispatcher indirection latency (§4.3)",
+        data={"p99_by_scale": data},
+        tables=[table],
+    )
+    result.findings.append(
+        "at realistic hop latencies (1x-4x) the indirection is negligible, "
+        "consistent with §4.3's 'a few ns'; the extreme 16x point shows the "
+        "failure mode the paper's integration argument avoids — replenish-"
+        "triggered refills stall when the NI-core round trip grows toward "
+        "the service time (the PCIe-attached-NIC regime of §3.2)"
+    )
+    return result
+
+
+def run_slots_ablation(profile: str = "quick", seed: int = 0) -> ExperimentResult:
+    """Send-slot provisioning S ∈ {1, 4, 32}: flow-control backpressure."""
+    rows: List[List[object]] = []
+    data: Dict[int, Dict[str, float]] = {}
+    for slots in (1, 4, 32):
+        system = RpcValetSystem(
+            scheme=SingleQueue(),
+            workload=HerdWorkload(),
+            costs=MicrobenchCosts.lean(),
+            seed=seed,
+        )
+        system.config = system.config.with_updates(send_slots_per_node=slots)
+        res = _herd_point(system, profile)
+        data[slots] = {
+            "p99_ns": res.p99,
+            "stall_fraction": res.stall_fraction,
+            "tput_mrps": res.point.achieved_throughput,
+        }
+        rows.append(
+            [slots, res.point.achieved_throughput, res.p99, res.stall_fraction]
+        )
+    table = format_table(
+        ["slots/node (S)", "tput (MRPS)", "p99 (ns)", "stall fraction"],
+        rows,
+        title=f"HERD at {_PROBE_MRPS} MRPS offered",
+    )
+    result = ExperimentResult(
+        "ablation-slots",
+        "Send-slot provisioning and flow-control backpressure (§4.2)",
+        data={"by_slots": data},
+        tables=[table],
+    )
+    result.findings.append(
+        "modest S suffices at rack-scale node counts; S=1 throttles "
+        "per-source pipelining and shows sender stalls first"
+    )
+    return result
+
+
+def run_scalability_ablation(profile: str = "quick", seed: int = 0) -> ExperimentResult:
+    """Single-dispatcher scalability with core count (§4.3).
+
+    §4.3 argues one hardware dispatcher sustains even a 64-core chip
+    (a decision every ~8ns at 500ns RPCs). We scale the chip to 4/16/64
+    cores, load each at ~85% of its capacity, and report the tail plus
+    the dispatcher's busy fraction — the §4.3 feasibility number.
+    """
+    from ..arch import ChipConfig
+
+    geometries = {
+        4: dict(num_cores=4, mesh_rows=2, mesh_cols=2, num_backends=2),
+        16: dict(num_cores=16, mesh_rows=4, mesh_cols=4, num_backends=4),
+        64: dict(num_cores=64, mesh_rows=8, mesh_cols=8, num_backends=8),
+    }
+    prof = get_profile(profile)
+    rows: List[List[object]] = []
+    data: Dict[int, Dict[str, float]] = {}
+    for cores, geometry in geometries.items():
+        system = RpcValetSystem(
+            scheme=SingleQueue(),
+            workload=HerdWorkload(),
+            config=ChipConfig(**geometry),
+            costs=MicrobenchCosts.lean(),
+            seed=seed,
+        )
+        capacity_mrps = cores / (system.expected_service_ns / 1e3)
+        offered = 0.85 * capacity_mrps
+        # More cores complete the same request count faster; scale the
+        # sample so that the 64-core tail is as converged as the rest.
+        num_requests = prof.arch_requests * max(1, cores // 16)
+        result = system.run_point(offered_mrps=offered, num_requests=num_requests)
+        # Dispatcher busy fraction: decisions x decision cost / wall time.
+        decisions_per_second = result.point.achieved_throughput * 1e6
+        busy_fraction = decisions_per_second * system.config.dispatch_ns / 1e9
+        data[cores] = {
+            "p99_ns": result.p99,
+            "tput_mrps": result.point.achieved_throughput,
+            "dispatcher_busy": busy_fraction,
+        }
+        rows.append(
+            [cores, offered, result.point.achieved_throughput,
+             result.p99, f"{busy_fraction * 100:.1f}%"]
+        )
+    table = format_table(
+        ["cores", "offered (MRPS)", "tput (MRPS)", "p99 (ns)", "dispatcher busy"],
+        rows,
+        title="HERD at 85% of per-chip capacity, single NI dispatcher",
+    )
+    return ExperimentResult(
+        "ablation-scalability",
+        "Single-dispatcher scalability with core count (§4.3)",
+        data={"by_cores": data},
+        tables=[table],
+        findings=[
+            "the dispatcher's busy fraction grows linearly with core count "
+            "but stays far from saturation at 64 cores — §4.3's feasibility "
+            "argument quantified"
+        ],
+    )
+
+
+def run_straggler_ablation(profile: str = "quick", seed: int = 0) -> ExperimentResult:
+    """§3.2's motivating scenario: a core periodically stalls.
+
+    One core loses 25% of its time to periodic multi-µs stalls
+    (TLB-shootdown / housekeeping class events). Static 16×1 hashing
+    keeps feeding the degraded core; RPCValet routes around it — "while
+    this core is stalled ... it is best to dispatch RPCs to other
+    available cores".
+    """
+    from ..arch import PeriodicStragglers, RandomStalls
+    from ..balancing import Partitioned
+
+    prof = get_profile(profile)
+    rows: List[List[object]] = []
+    data: Dict[str, Dict[str, float]] = {}
+    scenarios = (
+        ("healthy", None),
+        # Core 3 stalls 4µs every 12µs: 25% degradation, still stable.
+        ("1 straggler core", lambda: PeriodicStragglers([3], 12_000.0, 4_000.0)),
+        # Every request has a 2% chance of a ~2µs stall on any core.
+        ("random stalls", lambda: RandomStalls(0.02, 2_000.0)),
+    )
+    for scheme_factory, scheme_name in (
+        (Partitioned, "16x1"),
+        (SingleQueue, "1x16"),
+    ):
+        for scenario_name, interference_factory in scenarios:
+            system = RpcValetSystem(
+                scheme=scheme_factory(),
+                workload=HerdWorkload(),
+                costs=MicrobenchCosts.lean(),
+                seed=seed,
+                interference=(
+                    interference_factory() if interference_factory else None
+                ),
+            )
+            result = system.run_point(
+                offered_mrps=20.0, num_requests=prof.arch_requests
+            )
+            key = f"{scheme_name}/{scenario_name}"
+            data[key] = {
+                "p99_ns": result.p99,
+                "tput_mrps": result.point.achieved_throughput,
+            }
+            rows.append(
+                [key, result.point.achieved_throughput, result.p99]
+            )
+    table = format_table(
+        ["scheme / scenario", "tput (MRPS)", "p99 (ns)"],
+        rows,
+        title="HERD at 20 MRPS offered, §3.2 interference injection",
+    )
+    degraded_ratio = (
+        data["16x1/1 straggler core"]["p99_ns"]
+        / data["1x16/1 straggler core"]["p99_ns"]
+    )
+    return ExperimentResult(
+        "ablation-straggler",
+        "Interference injection: stalled cores vs balancing scheme (§3.2)",
+        data={"by_config": data},
+        tables=[table],
+        findings=[
+            f"with one 25%-degraded core, 16x1's tail is {degraded_ratio:.0f}x "
+            "RPCValet's: the static hash keeps queueing behind the stalled "
+            "core while the NI dispatcher simply stops refilling it"
+        ],
+    )

@@ -1,0 +1,150 @@
+"""Command-line driver: ``python -m repro.experiments <id> [--profile P]``.
+
+Runs one experiment (or ``all``) and prints its tables — the same
+rows/series the paper's figures plot. ``--chart`` adds monospace
+scatter plots of the sweep curves; ``--csv DIR`` writes every sweep as
+long-format CSV for external plotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+from typing import Callable, Dict, List
+
+from ..metrics import SweepResult, sweeps_chart, sweeps_csv
+from .ablations import (
+    run_indirection_ablation,
+    run_outstanding_ablation,
+    run_policy_ablation,
+    run_scalability_ablation,
+    run_slots_ablation,
+    run_straggler_ablation,
+)
+from .common import ExperimentResult, PROFILES
+from .extensions import (
+    run_bursts,
+    run_cluster,
+    run_dynamic_slots,
+    run_hedging,
+    run_preemption,
+    run_rss_spray,
+    run_validate,
+)
+from .fig2 import run_fig2a, run_fig2b, run_fig2c
+from .fig6 import run_fig6
+from .fig7 import run_fig7a, run_fig7b, run_fig7c
+from .fig8 import run_fig8
+from .fig9 import run_fig9
+from .headline import run_headline
+from .sensitivity import run_sensitivity
+
+__all__ = ["EXPERIMENTS", "main", "collect_sweeps"]
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "fig2a": run_fig2a,
+    "fig2b": run_fig2b,
+    "fig2c": run_fig2c,
+    "fig6": run_fig6,
+    "fig7a": run_fig7a,
+    "fig7b": run_fig7b,
+    "fig7c": run_fig7c,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "headline": run_headline,
+    "ablation-outstanding": run_outstanding_ablation,
+    "ablation-policy": run_policy_ablation,
+    "ablation-indirection": run_indirection_ablation,
+    "ablation-slots": run_slots_ablation,
+    "ablation-scalability": run_scalability_ablation,
+    "ablation-straggler": run_straggler_ablation,
+    "ext-preemption": run_preemption,
+    "ext-hedging": run_hedging,
+    "ext-dynamic-slots": run_dynamic_slots,
+    "validate": run_validate,
+    "sensitivity": run_sensitivity,
+    "ext-cluster": run_cluster,
+    "ext-bursts": run_bursts,
+    "ablation-rss-spray": run_rss_spray,
+}
+
+
+def collect_sweeps(value) -> List[SweepResult]:
+    """Find every SweepResult nested in an experiment's data payload."""
+    found: List[SweepResult] = []
+    if isinstance(value, SweepResult):
+        found.append(value)
+    elif isinstance(value, dict):
+        for child in value.values():
+            found.extend(collect_sweeps(child))
+    return found
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="rpcvalet-experiments",
+        description="Regenerate the RPCValet paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment id (paper figure) or 'all'",
+    )
+    parser.add_argument(
+        "--profile",
+        default="quick",
+        choices=sorted(PROFILES),
+        help="request-count profile (default: quick)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="also render the sweep curves as text scatter plots",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help="write each experiment's sweeps as <DIR>/<id>.csv",
+    )
+    parser.add_argument(
+        "--save",
+        metavar="DIR",
+        default=None,
+        help="save a JSON snapshot as <DIR>/<id>.json (for regression diffs)",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        started = time.time()
+        result = EXPERIMENTS[name](profile=args.profile, seed=args.seed)
+        print(result.table())
+        sweeps = collect_sweeps(result.data)
+        if args.chart and sweeps:
+            print()
+            print(
+                sweeps_chart(
+                    sweeps,
+                    title=f"{result.experiment_id}: p99 vs achieved throughput",
+                )
+            )
+        if args.csv and sweeps:
+            out_dir = pathlib.Path(args.csv)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            out_path = out_dir / f"{result.experiment_id}.csv"
+            out_path.write_text(sweeps_csv(sweeps))
+            print(f"[wrote {out_path}]")
+        if args.save:
+            from .persistence import save_result
+
+            print(f"[saved {save_result(result, args.save)}]")
+        print(f"[{name} took {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,105 @@
+"""Shared experiment infrastructure: profiles, results, loads.
+
+Every experiment driver runs under a *profile*:
+
+* ``quick`` — small request counts; minutes-scale total across all
+  experiments; used by the test suite and pytest-benchmark harness;
+* ``full`` — publication-scale counts for the numbers recorded in
+  EXPERIMENTS.md.
+
+Drivers return an :class:`ExperimentResult` whose ``table()`` renders
+the same rows/series the paper's figure plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+import numpy as np
+
+__all__ = ["Profile", "PROFILES", "ExperimentResult", "load_grid"]
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Request-count and grid-resolution knobs for one run."""
+
+    name: str
+    #: Requests per load point for the theoretical queueing models.
+    queueing_requests: int
+    #: Requests per load point for the architectural simulator.
+    arch_requests: int
+    #: Number of load points per sweep.
+    sweep_points: int
+    #: Warmup fraction trimmed from every measurement.
+    warmup_fraction: float = 0.1
+
+
+PROFILES: Dict[str, Profile] = {
+    "smoke": Profile("smoke", queueing_requests=20_000, arch_requests=3_000, sweep_points=5),
+    "quick": Profile("quick", queueing_requests=60_000, arch_requests=8_000, sweep_points=8),
+    "full": Profile("full", queueing_requests=400_000, arch_requests=40_000, sweep_points=12),
+}
+
+
+def get_profile(profile: str) -> Profile:
+    try:
+        return PROFILES[profile]
+    except KeyError:
+        raise ValueError(
+            f"unknown profile {profile!r}; expected one of {sorted(PROFILES)}"
+        ) from None
+
+
+def load_grid(low: float, high: float, points: int) -> List[float]:
+    """Evenly spaced load points in [low, high]."""
+    if not 0 < low < high:
+        raise ValueError(f"need 0 < low < high, got [{low!r}, {high!r}]")
+    if points < 2:
+        raise ValueError(f"need at least 2 points, got {points!r}")
+    return list(np.linspace(low, high, points))
+
+
+def capacity_grid(capacity: float, points: int) -> List[float]:
+    """Load points for saturation-seeking sweeps.
+
+    Linear coverage of the low/mid range plus a dense cluster just
+    below and at capacity — where throughput-under-SLO differences
+    between schemes actually resolve (a coarse uniform grid makes two
+    schemes that saturate at 0.92 and 0.99 of capacity look identical).
+    """
+    if capacity <= 0:
+        raise ValueError(f"capacity must be positive, got {capacity!r}")
+    if points < 4:
+        raise ValueError(f"need at least 4 points, got {points!r}")
+    top_fractions = [0.88, 0.94, 1.0]
+    low_points = max(points - len(top_fractions), 1)
+    fractions = list(np.linspace(0.2, 0.8, low_points)) + top_fractions
+    return [fraction * capacity for fraction in fractions]
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment driver."""
+
+    experiment_id: str
+    title: str
+    #: Structured payload (sweeps, ratios, ...), driver-specific.
+    data: Dict[str, Any] = field(default_factory=dict)
+    #: Pre-rendered tables, in print order.
+    tables: List[str] = field(default_factory=list)
+    #: Headline findings, e.g. "1x16 beats 16x1 by 1.21x under SLO".
+    findings: List[str] = field(default_factory=list)
+
+    def table(self) -> str:
+        """All tables plus findings as one printable block."""
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        parts.extend(self.tables)
+        if self.findings:
+            parts.append("Findings:")
+            parts.extend(f"  - {finding}" for finding in self.findings)
+        return "\n".join(parts)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.table()

@@ -1,0 +1,118 @@
+"""Figure 2: tail latency vs load for theoretical Q×U queueing systems.
+
+* Fig. 2a — five configurations (1×16 … 16×1), exponential service;
+* Fig. 2b — Model 1×16 under all four service distributions;
+* Fig. 2c — Model 16×1 under all four service distributions.
+
+Latencies are reported in multiples of the mean service time S̄ and the
+load axis is utilization, exactly as in the paper. Service shapes are
+the paper's synthetic set normalized to unit mean.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..dists import Distribution, SYNTHETIC_KINDS, Scaled, synthetic
+from ..metrics import SweepResult, sweep_table
+from ..queueing import PAPER_CONFIGS, QueueingSystem
+from .common import ExperimentResult, get_profile, load_grid
+
+__all__ = ["unit_mean_service", "run_fig2a", "run_fig2b", "run_fig2c"]
+
+
+def unit_mean_service(kind: str) -> Distribution:
+    """The paper's synthetic shape scaled to mean 1."""
+    dist = synthetic(kind)
+    scaled = Scaled(dist, 1.0 / dist.mean, name=kind)
+    return scaled
+
+
+def _loads(points: int) -> List[float]:
+    return load_grid(0.1, 0.95, points)
+
+
+def run_fig2a(profile: str = "quick", seed: int = 0) -> ExperimentResult:
+    """Five Q×U systems under exponential service time."""
+    prof = get_profile(profile)
+    service = unit_mean_service("exponential")
+    loads = _loads(prof.sweep_points)
+    sweeps: List[SweepResult] = []
+    for num_queues, servers in PAPER_CONFIGS:
+        system = QueueingSystem(num_queues, servers, service, seed=seed)
+        sweeps.append(
+            system.sweep(loads, num_requests=prof.queueing_requests)
+        )
+    result = ExperimentResult(
+        "fig2a",
+        "Tail latency vs load, exponential service, Q x U in "
+        "{1x16, 2x8, 4x4, 8x2, 16x1}",
+        data={"sweeps": {sweep.label: sweep for sweep in sweeps}},
+        tables=[
+            sweep_table(
+                sweeps,
+                load_label="load",
+                title="p99 latency (multiples of mean service time)",
+            )
+        ],
+    )
+    # The paper's reading: performance is proportional to U.
+    high_load_p99 = {sweep.label: sweep.points[-1].p99 for sweep in sweeps}
+    ordering = sorted(high_load_p99, key=high_load_p99.get)
+    result.data["high_load_p99"] = high_load_p99
+    result.findings.append(
+        f"p99 ordering at load {loads[-1]:.2f} (best to worst): {' < '.join(ordering)}"
+    )
+    return result
+
+
+def _run_distribution_panel(
+    experiment_id: str,
+    num_queues: int,
+    servers: int,
+    profile: str,
+    seed: int,
+) -> ExperimentResult:
+    prof = get_profile(profile)
+    loads = _loads(prof.sweep_points)
+    sweeps: List[SweepResult] = []
+    for kind in SYNTHETIC_KINDS:
+        system = QueueingSystem(
+            num_queues, servers, unit_mean_service(kind), seed=seed
+        )
+        sweep = system.sweep(
+            loads, num_requests=prof.queueing_requests, label=kind
+        )
+        sweeps.append(sweep)
+    label = f"{num_queues}x{servers}"
+    result = ExperimentResult(
+        experiment_id,
+        f"Model {label}: four service-time distributions",
+        data={"sweeps": {sweep.label: sweep for sweep in sweeps}},
+        tables=[
+            sweep_table(
+                sweeps,
+                load_label="load",
+                title=f"p99 (multiples of mean service), Model {label}",
+            )
+        ],
+    )
+    # Paper: TL_fixed < TL_uni < TL_exp < TL_gev before saturation.
+    mid_point = max(0, len(loads) - 2)
+    mid_p99 = {sweep.label: sweep.points[mid_point].p99 for sweep in sweeps}
+    ordering = sorted(mid_p99, key=mid_p99.get)
+    result.data["pre_saturation_p99"] = mid_p99
+    result.findings.append(
+        f"p99 ordering at load {loads[mid_point]:.2f}: {' < '.join(ordering)}"
+    )
+    return result
+
+
+def run_fig2b(profile: str = "quick", seed: int = 0) -> ExperimentResult:
+    """Model 1×16 under fixed/uniform/exponential/GEV service."""
+    return _run_distribution_panel("fig2b", 1, 16, profile, seed)
+
+
+def run_fig2c(profile: str = "quick", seed: int = 0) -> ExperimentResult:
+    """Model 16×1 under fixed/uniform/exponential/GEV service."""
+    return _run_distribution_panel("fig2c", 16, 1, profile, seed)

@@ -1,0 +1,97 @@
+"""Figure 6: the modeled RPC processing-time distributions.
+
+Regenerates the figure's content as tables: distribution moments and
+sampled percentiles for (a) the four synthetic distributions, (b) the
+HERD model, and (c) the Masstree get model (+ the scan runtimes the
+figure's caption describes but clips).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..dists import (
+    Distribution,
+    HERD_MEAN_NS,
+    MASSTREE_GET_MEAN_NS,
+    SYNTHETIC_KINDS,
+    herd,
+    masstree_get,
+    masstree_scan,
+    synthetic,
+)
+from ..metrics import format_table
+from .common import ExperimentResult, get_profile
+
+__all__ = ["run_fig6", "distribution_moments"]
+
+
+def distribution_moments(
+    dist: Distribution, num_samples: int, seed: int
+) -> Dict[str, float]:
+    """Analytic mean/cv² plus sampled percentiles for one distribution."""
+    rng = np.random.default_rng(seed)
+    samples = dist.sample_array(rng, num_samples)
+    return {
+        "mean_analytic": dist.mean,
+        "mean_sampled": float(samples.mean()),
+        "cv2": dist.cv2,
+        "p50": float(np.percentile(samples, 50)),
+        "p99": float(np.percentile(samples, 99)),
+        "max": float(samples.max()),
+    }
+
+
+def run_fig6(profile: str = "quick", seed: int = 0) -> ExperimentResult:
+    """Moments/percentiles of every Fig. 6 processing-time model."""
+    prof = get_profile(profile)
+    num_samples = prof.queueing_requests
+    rows: List[List[object]] = []
+    data: Dict[str, Dict[str, float]] = {}
+
+    models: List[Distribution] = [synthetic(kind) for kind in SYNTHETIC_KINDS]
+    models.append(herd())
+    models.append(masstree_get())
+    models.append(masstree_scan())
+
+    for index, dist in enumerate(models):
+        moments = distribution_moments(dist, num_samples, seed + index)
+        data[dist.name] = moments
+        rows.append(
+            [
+                dist.name,
+                moments["mean_analytic"],
+                moments["mean_sampled"],
+                moments["cv2"],
+                moments["p50"],
+                moments["p99"],
+            ]
+        )
+
+    table = format_table(
+        ["model", "mean(ns)", "sampled mean", "cv^2", "p50", "p99"],
+        rows,
+        title="Fig. 6 processing-time models (ns)",
+    )
+    result = ExperimentResult(
+        "fig6",
+        "Modeled RPC processing time distributions",
+        data=data,
+        tables=[table],
+    )
+    result.findings.append(
+        f"synthetic means = 600ns (300 base + 300 extra); "
+        f"herd mean = {data['herd']['mean_analytic']:.0f}ns "
+        f"(paper: {HERD_MEAN_NS:.0f}ns); "
+        f"masstree get mean = {data['masstree_get']['mean_analytic']:.0f}ns "
+        f"(paper: {MASSTREE_GET_MEAN_NS:.0f}ns)"
+    )
+    variance_order = sorted(
+        SYNTHETIC_KINDS, key=lambda kind: data[kind]["cv2"]
+    )
+    result.findings.append(
+        "synthetic variability ordering (cv^2): " + " < ".join(variance_order)
+    )
+    return result

@@ -1,0 +1,116 @@
+"""Figure 9: RPCValet vs the theoretical 1×16 queueing model.
+
+Methodology (§6.3): measure the implementation's mean service time S̄;
+model a theoretical 1×16 system whose service time is a *composite* —
+the emulated processing part D follows the experiment's distribution
+and the remaining S̄−D is fixed (a conservative assumption). Both
+series plot p99 (in multiples of S̄) against utilization. The paper
+finds the implementation within 3% (fixed) to 15% (GEV) of the model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core import make_system
+from ..dists import SYNTHETIC_KINDS, synthetic
+from ..metrics import LatencySummary, SweepPoint, SweepResult, sweep_table
+from ..queueing import QueueingSystem, composite_service
+from .common import ExperimentResult, get_profile, load_grid
+
+__all__ = ["run_fig9", "model_vs_simulation"]
+
+
+def model_vs_simulation(
+    kind: str,
+    profile: str,
+    seed: int,
+) -> Dict[str, object]:
+    """One Fig. 9 panel: (model sweep, simulation sweep, gap stats)."""
+    prof = get_profile(profile)
+    workload = f"synthetic-{kind}"
+    system = make_system("1x16", workload, seed=seed)
+
+    # Measure S̄ on the implementation (short calibration run).
+    calibration = system.run_point(offered_mrps=1.0, num_requests=2_000)
+    mean_service_ns = calibration.mean_service_ns
+    processing = synthetic(kind)
+    fixed_part_ns = mean_service_ns - processing.mean
+    if fixed_part_ns < 0:
+        raise RuntimeError(
+            f"measured S̄ ({mean_service_ns:.0f}ns) below processing mean"
+        )
+
+    utilizations = load_grid(0.2, 0.95, prof.sweep_points)
+    capacity_mrps = 16.0 / (mean_service_ns / 1e3)
+
+    # --- model side: theoretical 1x16 with composite service ---------------
+    service = composite_service(processing, fixed_part_ns, name=f"{kind}+fixed")
+    model_system = QueueingSystem(1, 16, service, seed=seed)
+    model_sweep = model_system.sweep(
+        utilizations,
+        num_requests=prof.queueing_requests,
+        label=f"model_{kind}",
+    )
+
+    # --- implementation side: arch sim at matching utilizations -----------
+    sim_points: List[SweepPoint] = []
+    for utilization in sorted(utilizations):
+        point = system.run_point(
+            offered_mrps=utilization * capacity_mrps,
+            num_requests=prof.arch_requests,
+        ).point
+        normalized = point.summary.scaled(1.0 / mean_service_ns)
+        sim_points.append(
+            SweepPoint(
+                offered_load=utilization,
+                achieved_throughput=point.achieved_throughput / capacity_mrps,
+                summary=normalized,
+            )
+        )
+    sim_sweep = SweepResult(label=f"sim_{kind}", points=sim_points)
+
+    # --- gap: simulation p99 relative to model p99 below saturation -------
+    gaps = []
+    for model_point, sim_point in zip(model_sweep.points, sim_sweep.points):
+        if model_point.offered_load <= 0.9 and model_point.p99 > 0:
+            gaps.append(sim_point.p99 / model_point.p99 - 1.0)
+    worst_gap = max(gaps) if gaps else float("nan")
+    return {
+        "model": model_sweep,
+        "sim": sim_sweep,
+        "worst_gap": worst_gap,
+        "mean_service_ns": mean_service_ns,
+        "fixed_part_ns": fixed_part_ns,
+    }
+
+
+def run_fig9(profile: str = "quick", seed: int = 0) -> ExperimentResult:
+    """All four panels of Fig. 9."""
+    tables = []
+    findings: List[str] = []
+    data: Dict[str, object] = {}
+    for kind in SYNTHETIC_KINDS:
+        panel = model_vs_simulation(kind, profile, seed)
+        data[kind] = panel
+        tables.append(
+            sweep_table(
+                [panel["model"], panel["sim"]],
+                load_label="load",
+                title=(
+                    f"1x16 {kind}: p99 in multiples of S̄ "
+                    f"(S̄={panel['mean_service_ns']:.0f}ns)"
+                ),
+            )
+        )
+        findings.append(
+            f"{kind}: simulation within {panel['worst_gap'] * 100:+.1f}% of the "
+            "model (worst point below 0.9 load)"
+        )
+    return ExperimentResult(
+        "fig9",
+        "RPCValet implementation vs theoretical 1x16 queueing model",
+        data=data,
+        tables=tables,
+        findings=findings,
+    )

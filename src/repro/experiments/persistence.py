@@ -1,0 +1,128 @@
+"""Persisting experiment results as JSON snapshots.
+
+Serializes an :class:`ExperimentResult` — tables, findings, and every
+sweep's points — to a stable JSON layout, so runs can be archived,
+diffed across code versions, and compared for regressions:
+
+    python -m repro.experiments fig7a --save results/
+    # ... change the code ...
+    python -m repro.experiments fig7a --save results-new/
+    # then: compare_snapshots(load_snapshot(a), load_snapshot(b))
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+from typing import Dict, List, Union
+
+from ..metrics import SweepResult
+from .cli import collect_sweeps
+from .common import ExperimentResult
+
+__all__ = [
+    "result_to_dict",
+    "save_result",
+    "load_snapshot",
+    "compare_snapshots",
+]
+
+_SCHEMA_VERSION = 1
+
+
+def _sweep_to_dict(sweep: SweepResult) -> dict:
+    return {
+        "label": sweep.label,
+        "points": [
+            {
+                "offered_load": float(point.offered_load),
+                "achieved_throughput": float(point.achieved_throughput),
+                "p99": float(point.p99),
+                "mean": float(point.summary.mean),
+                "count": int(point.summary.count),
+            }
+            for point in sweep.points
+        ],
+    }
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    """JSON-safe snapshot of an experiment result."""
+    return {
+        "schema_version": _SCHEMA_VERSION,
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "findings": list(result.findings),
+        "tables": list(result.tables),
+        "sweeps": [_sweep_to_dict(sweep) for sweep in collect_sweeps(result.data)],
+    }
+
+
+def save_result(
+    result: ExperimentResult, directory: Union[str, pathlib.Path]
+) -> pathlib.Path:
+    """Write ``<directory>/<experiment_id>.json``; returns the path."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{result.experiment_id}.json"
+    path.write_text(json.dumps(result_to_dict(result), indent=2))
+    return path
+
+
+def load_snapshot(path: Union[str, pathlib.Path]) -> dict:
+    """Load a snapshot written by :func:`save_result`."""
+    payload = json.loads(pathlib.Path(path).read_text())
+    version = payload.get("schema_version")
+    if version != _SCHEMA_VERSION:
+        raise ValueError(
+            f"snapshot schema {version!r} not supported (expected {_SCHEMA_VERSION})"
+        )
+    return payload
+
+
+def compare_snapshots(
+    baseline: dict, candidate: dict, tolerance: float = 0.10
+) -> List[str]:
+    """Report p99 regressions between two snapshots of one experiment.
+
+    Matches sweeps by label and points by offered load; returns
+    human-readable lines for every point whose p99 moved more than
+    ``tolerance`` relatively. Empty list = no regressions.
+    """
+    if baseline["experiment_id"] != candidate["experiment_id"]:
+        raise ValueError(
+            "snapshots are from different experiments: "
+            f"{baseline['experiment_id']} vs {candidate['experiment_id']}"
+        )
+    if tolerance <= 0:
+        raise ValueError(f"tolerance must be positive, got {tolerance!r}")
+    baseline_sweeps: Dict[str, dict] = {
+        sweep["label"]: sweep for sweep in baseline["sweeps"]
+    }
+    report: List[str] = []
+    for sweep in candidate["sweeps"]:
+        reference = baseline_sweeps.get(sweep["label"])
+        if reference is None:
+            report.append(f"new sweep {sweep['label']!r} (not in baseline)")
+            continue
+        reference_points = {
+            round(point["offered_load"], 9): point
+            for point in reference["points"]
+        }
+        for point in sweep["points"]:
+            match = reference_points.get(round(point["offered_load"], 9))
+            if match is None:
+                continue
+            old_p99, new_p99 = match["p99"], point["p99"]
+            if not (math.isfinite(old_p99) and math.isfinite(new_p99)):
+                continue
+            if old_p99 <= 0:
+                continue
+            change = (new_p99 - old_p99) / old_p99
+            if abs(change) > tolerance:
+                report.append(
+                    f"{sweep['label']} @ load {point['offered_load']:g}: "
+                    f"p99 {old_p99:.4g} -> {new_p99:.4g} ({change:+.1%})"
+                )
+    return report

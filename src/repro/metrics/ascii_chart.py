@@ -1,0 +1,127 @@
+"""Plain-text charts for sweep curves.
+
+The repo is plotting-library-free (offline, terminal-first); these
+renderers draw the paper's p99-vs-throughput figures as monospace
+scatter plots so ``python -m repro.experiments fig7a --chart`` visually
+resembles Fig. 7a.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from .sweep import SweepResult
+
+__all__ = ["ascii_chart", "sweeps_chart"]
+
+#: Plot glyphs assigned to series in order.
+_MARKERS = "ox+*#@%&"
+
+
+def _nice_ticks(low: float, high: float, count: int) -> List[float]:
+    if high <= low:
+        high = low + 1.0
+    step = (high - low) / max(count - 1, 1)
+    return [low + index * step for index in range(count)]
+
+
+def ascii_chart(
+    series: Sequence[Tuple[str, Sequence[float], Sequence[float]]],
+    width: int = 64,
+    height: int = 18,
+    x_label: str = "x",
+    y_label: str = "y",
+    log_y: bool = False,
+    title: Optional[str] = None,
+) -> str:
+    """Render ``(label, xs, ys)`` series as a monospace scatter plot."""
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 16 or height < 6:
+        raise ValueError("chart too small to be legible")
+
+    points: List[Tuple[float, float, str]] = []
+    for index, (_label, xs, ys) in enumerate(series):
+        if len(xs) != len(ys):
+            raise ValueError("series xs and ys differ in length")
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in zip(xs, ys):
+            if y != y or x != x:  # NaN
+                continue
+            if log_y and y <= 0:
+                continue
+            points.append((float(x), float(y), marker))
+    if not points:
+        raise ValueError("no finite points to plot")
+
+    xs_all = [point[0] for point in points]
+    ys_all = [
+        math.log10(point[1]) if log_y else point[1] for point in points
+    ]
+    x_low, x_high = min(xs_all), max(xs_all)
+    y_low, y_high = min(ys_all), max(ys_all)
+    if x_high == x_low:
+        x_high = x_low + 1.0
+    if y_high == y_low:
+        y_high = y_low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, marker in points:
+        y_value = math.log10(y) if log_y else y
+        col = int((x - x_low) / (x_high - x_low) * (width - 1))
+        row = int((y_value - y_low) / (y_high - y_low) * (height - 1))
+        grid[height - 1 - row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    y_axis_width = 10
+    for row_index, row in enumerate(grid):
+        frac = 1.0 - row_index / (height - 1)
+        y_value = y_low + frac * (y_high - y_low)
+        if log_y:
+            y_value = 10**y_value
+        lines.append(f"{y_value:>{y_axis_width}.3g} |" + "".join(row))
+    lines.append(" " * y_axis_width + " +" + "-" * width)
+    ticks = _nice_ticks(x_low, x_high, 5)
+    tick_line = " " * (y_axis_width + 2)
+    positions = [
+        int((tick - x_low) / (x_high - x_low) * (width - 1)) for tick in ticks
+    ]
+    label_chars = list(" " * (width + 8))
+    for tick, pos in zip(ticks, positions):
+        text = f"{tick:.3g}"
+        for offset, char in enumerate(text):
+            if pos + offset < len(label_chars):
+                label_chars[pos + offset] = char
+    lines.append(tick_line + "".join(label_chars).rstrip())
+    lines.append(" " * (y_axis_width + 2) + x_label)
+    legend = "   ".join(
+        f"{_MARKERS[index % len(_MARKERS)]} = {label}"
+        for index, (label, _xs, _ys) in enumerate(series)
+    )
+    lines.append(f"{y_label} (y){', log scale' if log_y else ''};  {legend}")
+    return "\n".join(lines)
+
+
+def sweeps_chart(
+    sweeps: Sequence[SweepResult],
+    log_y: bool = True,
+    title: Optional[str] = None,
+    width: int = 64,
+    height: int = 18,
+) -> str:
+    """Paper-style figure: p99 latency vs achieved throughput."""
+    series = [
+        (sweep.label, sweep.throughputs, sweep.p99s) for sweep in sweeps
+    ]
+    return ascii_chart(
+        series,
+        width=width,
+        height=height,
+        x_label="achieved throughput",
+        y_label="p99 latency",
+        log_y=log_y,
+        title=title,
+    )

@@ -1,0 +1,96 @@
+"""Per-stage latency decomposition.
+
+Splits each request's end-to-end latency (§5's metric: NI reception →
+replenish posted) into the pipeline stages of Fig. 5:
+
+* ``reassembly`` — packets written + counter checks at the NI backend;
+* ``dispatch_wait`` — time in the shared CQ (the queueing RPCValet
+  minimizes) plus the dispatch decision;
+* ``delivery`` — mesh hops, CQE write, poll detection, request read;
+* ``service`` — the RPC's own processing time;
+* ``post`` — reply send issue + replenish issue (+ scheme overheads).
+
+Use ``RpcValetSystem.run_point(..., keep_messages=True)`` to retain the
+message records this consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+__all__ = ["StageBreakdown", "breakdown_from_messages"]
+
+_STAGES = ("reassembly", "dispatch_wait", "delivery", "service", "post")
+
+
+@dataclass(frozen=True)
+class StageBreakdown:
+    """Mean per-stage latency (ns) over a set of completed requests."""
+
+    reassembly: float
+    dispatch_wait: float
+    delivery: float
+    service: float
+    post: float
+    count: int
+
+    @property
+    def total(self) -> float:
+        return (
+            self.reassembly
+            + self.dispatch_wait
+            + self.delivery
+            + self.service
+            + self.post
+        )
+
+    def fractions(self) -> dict:
+        """Each stage's share of the mean end-to-end latency."""
+        total = self.total
+        if total <= 0:
+            return {stage: 0.0 for stage in _STAGES}
+        return {
+            stage: getattr(self, stage) / total for stage in _STAGES
+        }
+
+    def table(self) -> str:
+        """Render the breakdown as an aligned text table."""
+        from .tables import format_table
+
+        fractions = self.fractions()
+        rows = [
+            [stage, getattr(self, stage), f"{fractions[stage] * 100:.1f}%"]
+            for stage in _STAGES
+        ]
+        rows.append(["total", self.total, "100%"])
+        return format_table(
+            ["stage", "mean (ns)", "share"],
+            rows,
+            title=f"Latency breakdown over {self.count} requests",
+        )
+
+
+def breakdown_from_messages(messages: Sequence) -> StageBreakdown:
+    """Compute the mean stage breakdown from completed SendMessages.
+
+    Every message must have completed (``t_replenish`` set); incomplete
+    records raise.
+    """
+    if not messages:
+        raise ValueError("need at least one completed message")
+    stacks = {stage: [] for stage in _STAGES}
+    for msg in messages:
+        if msg.t_replenish is None:
+            raise ValueError(f"message {msg.msg_id} has not completed")
+        stacks["reassembly"].append(msg.t_reassembled - msg.t_arrival)
+        stacks["dispatch_wait"].append(msg.t_dispatch - msg.t_reassembled)
+        stacks["delivery"].append(msg.t_start - msg.t_dispatch)
+        stacks["service"].append(msg.service_ns)
+        stacks["post"].append(
+            msg.t_replenish - msg.t_start - msg.service_ns
+        )
+    means = {stage: float(np.mean(values)) for stage, values in stacks.items()}
+    return StageBreakdown(count=len(messages), **means)

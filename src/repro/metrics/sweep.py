@@ -1,0 +1,136 @@
+"""Load sweeps: the throughput/tail curves behind every figure.
+
+Every evaluation figure in the paper plots p99 latency against offered
+or achieved throughput for a set of system configurations. A
+:class:`LoadSweep` drives one configuration across a list of load
+points; :class:`SweepResult` holds the resulting curve and extracts the
+paper's headline metric, *throughput under SLO*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .latency import LatencySummary
+
+__all__ = ["SweepPoint", "SweepResult", "LoadSweep", "throughput_under_slo"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One load point of a sweep.
+
+    ``offered_load`` and ``achieved_throughput`` are in the same unit
+    (requests per time unit, or utilization in [0,1] for the theoretical
+    models). ``summary`` is over the SLO-relevant request class.
+    """
+
+    offered_load: float
+    achieved_throughput: float
+    summary: LatencySummary
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def p99(self) -> float:
+        return self.summary.p99
+
+
+@dataclass
+class SweepResult:
+    """A labelled throughput/tail-latency curve."""
+
+    label: str
+    points: List[SweepPoint]
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def p99s(self) -> List[float]:
+        return [point.p99 for point in self.points]
+
+    @property
+    def throughputs(self) -> List[float]:
+        return [point.achieved_throughput for point in self.points]
+
+    def throughput_under_slo(self, slo: float) -> float:
+        """Max achieved throughput among points meeting ``p99 <= slo``.
+
+        Returns 0.0 if no point meets the SLO (the paper's Fig. 7b
+        reports exactly this for 16×1 under the 12.5µs SLO).
+        """
+        return throughput_under_slo(self.points, slo)
+
+    def max_p99_before(self, throughput_limit: float) -> float:
+        """Largest p99 among points with throughput <= limit.
+
+        Used for "up to 4× lower tail latency before saturation"
+        comparisons between two curves.
+        """
+        candidates = [
+            point.p99
+            for point in self.points
+            if point.achieved_throughput <= throughput_limit
+        ]
+        if not candidates:
+            return float("nan")
+        return max(candidates)
+
+
+def throughput_under_slo(points: Sequence[SweepPoint], slo: float) -> float:
+    """Max achieved throughput among ``points`` with p99 <= ``slo``."""
+    if slo <= 0:
+        raise ValueError(f"slo must be positive, got {slo!r}")
+    meeting = [
+        point.achieved_throughput
+        for point in points
+        if point.p99 <= slo and point.summary.count > 0
+    ]
+    return max(meeting) if meeting else 0.0
+
+
+class LoadSweep:
+    """Runs ``run_point(load) -> SweepPoint`` across a list of loads.
+
+    ``stop_when_saturated`` aborts the sweep once p99 exceeds
+    ``saturation_p99`` — points deep past saturation are expensive to
+    simulate (queues grow without bound) and add nothing to the figures.
+    """
+
+    def __init__(
+        self,
+        run_point: Callable[[float], SweepPoint],
+        loads: Sequence[float],
+        label: str = "sweep",
+        stop_when_saturated: bool = False,
+        saturation_p99: Optional[float] = None,
+    ) -> None:
+        if not loads:
+            raise ValueError("need at least one load point")
+        if any(load <= 0 for load in loads):
+            raise ValueError(f"loads must be positive, got {list(loads)}")
+        if stop_when_saturated and saturation_p99 is None:
+            raise ValueError("stop_when_saturated requires saturation_p99")
+        self._run_point = run_point
+        self._loads = list(loads)
+        self._label = label
+        self._stop_when_saturated = stop_when_saturated
+        self._saturation_p99 = saturation_p99
+
+    def run(self) -> SweepResult:
+        """Execute the sweep in increasing-load order."""
+        points: List[SweepPoint] = []
+        for load in sorted(self._loads):
+            point = self._run_point(load)
+            points.append(point)
+            if (
+                self._stop_when_saturated
+                and self._saturation_p99 is not None
+                and point.p99 > self._saturation_p99
+            ):
+                break
+        return SweepResult(label=self._label, points=points)

@@ -1,0 +1,106 @@
+"""Plain-text table and CSV rendering for experiment output.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these helpers keep that output aligned and copy-pasteable.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, List, Optional, Sequence
+
+from .sweep import SweepResult
+
+__all__ = ["format_table", "sweep_table", "sweeps_csv"]
+
+
+def _fmt(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    precision: int = 5,
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned monospace table."""
+    string_rows: List[List[str]] = [
+        [_fmt(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(header) for header in headers]
+    for row in string_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    header_line = "  ".join(
+        header.ljust(widths[index]) for index, header in enumerate(headers)
+    )
+    out.write(header_line + "\n")
+    out.write("  ".join("-" * width for width in widths) + "\n")
+    for row in string_rows:
+        out.write(
+            "  ".join(cell.rjust(widths[index]) for index, cell in enumerate(row))
+            + "\n"
+        )
+    return out.getvalue()
+
+
+def sweep_table(
+    sweeps: Sequence[SweepResult],
+    load_label: str = "load",
+    latency_label: str = "p99",
+    precision: int = 5,
+    title: Optional[str] = None,
+) -> str:
+    """Tabulate several sweeps side by side, one row per load point.
+
+    Sweeps are aligned by position (they are normally produced from the
+    same load list); shorter sweeps (stopped at saturation) leave their
+    trailing cells blank.
+    """
+    if not sweeps:
+        raise ValueError("need at least one sweep")
+    headers = [load_label]
+    for sweep in sweeps:
+        headers.append(f"{sweep.label}:tput")
+        headers.append(f"{sweep.label}:{latency_label}")
+    max_points = max(len(sweep) for sweep in sweeps)
+    rows: List[List[object]] = []
+    for index in range(max_points):
+        offered: object = ""
+        cells: List[object] = []
+        for sweep in sweeps:
+            if index < len(sweep):
+                point = sweep.points[index]
+                offered = point.offered_load
+                cells.extend([point.achieved_throughput, point.p99])
+            else:
+                cells.extend(["", ""])
+        rows.append([offered, *cells])
+    return format_table(headers, rows, precision=precision, title=title)
+
+
+def sweeps_csv(sweeps: Sequence[SweepResult]) -> str:
+    """Long-format CSV: label, offered load, achieved tput, p99, mean."""
+    out = io.StringIO()
+    out.write("label,offered_load,achieved_throughput,p99,mean,count\n")
+    for sweep in sweeps:
+        for point in sweep.points:
+            out.write(
+                f"{sweep.label},{float(point.offered_load)!r},"
+                f"{float(point.achieved_throughput)!r},{float(point.p99)!r},"
+                f"{float(point.summary.mean)!r},{point.summary.count}\n"
+            )
+    return out.getvalue()

@@ -1,0 +1,231 @@
+"""Closed-form queueing results used as test oracles.
+
+These are not part of the paper's evaluation, but they pin down the
+correctness of the simulators: an M/M/1, M/M/c, or M/G/1 run of
+:mod:`repro.queueing.fastsim` must converge to these values.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "mm1_mean_sojourn",
+    "mm1_sojourn_percentile",
+    "erlang_c",
+    "mmc_mean_wait",
+    "mmc_mean_sojourn",
+    "mmc_wait_percentile",
+    "mmc_sojourn_cdf",
+    "mmc_sojourn_percentile",
+    "mg1_mean_wait",
+    "mg1_mean_sojourn",
+    "mgc_mean_wait_allen_cunneen",
+    "gg1_mean_wait_kingman",
+]
+
+
+def _check_stability(rho: float) -> None:
+    if not 0 <= rho < 1:
+        raise ValueError(f"utilization must be in [0,1) for a stable queue, got {rho!r}")
+
+
+def mm1_mean_sojourn(arrival_rate: float, service_rate: float) -> float:
+    """Mean sojourn time of an M/M/1 queue: 1/(µ−λ)."""
+    rho = arrival_rate / service_rate
+    _check_stability(rho)
+    return 1.0 / (service_rate - arrival_rate)
+
+
+def mm1_sojourn_percentile(
+    arrival_rate: float, service_rate: float, quantile: float
+) -> float:
+    """Percentile of M/M/1 sojourn time (exponential with rate µ−λ).
+
+    ``quantile`` in (0, 1): e.g. 0.99 for the p99.
+    """
+    if not 0 < quantile < 1:
+        raise ValueError(f"quantile must be in (0,1), got {quantile!r}")
+    rho = arrival_rate / service_rate
+    _check_stability(rho)
+    return -math.log(1.0 - quantile) / (service_rate - arrival_rate)
+
+
+def erlang_c(num_servers: int, offered_load: float) -> float:
+    """Erlang-C probability that an arrival must wait in M/M/c.
+
+    ``offered_load`` is a = λ/µ (in Erlangs); requires a < c.
+    """
+    if num_servers <= 0:
+        raise ValueError(f"num_servers must be positive, got {num_servers!r}")
+    if not 0 <= offered_load < num_servers:
+        raise ValueError(
+            f"offered load {offered_load!r} must be in [0, c={num_servers}) for stability"
+        )
+    if offered_load == 0:
+        return 0.0
+    # Iterative Erlang-B then convert, numerically stable for large c.
+    blocking = 1.0
+    for k in range(1, num_servers + 1):
+        blocking = offered_load * blocking / (k + offered_load * blocking)
+    rho = offered_load / num_servers
+    return blocking / (1.0 - rho + rho * blocking)
+
+
+def mmc_mean_wait(
+    num_servers: int, arrival_rate: float, service_rate: float
+) -> float:
+    """Mean waiting time (excluding service) in M/M/c."""
+    offered = arrival_rate / service_rate
+    probability_wait = erlang_c(num_servers, offered)
+    return probability_wait / (num_servers * service_rate - arrival_rate)
+
+
+def mmc_mean_sojourn(
+    num_servers: int, arrival_rate: float, service_rate: float
+) -> float:
+    """Mean sojourn time (wait + service) in M/M/c."""
+    return mmc_mean_wait(num_servers, arrival_rate, service_rate) + 1.0 / service_rate
+
+
+def mmc_wait_percentile(
+    num_servers: int, arrival_rate: float, service_rate: float, quantile: float
+) -> float:
+    """Percentile of the M/M/c *waiting* time.
+
+    The wait is 0 with probability 1−P_wait and exponential with rate
+    (cµ−λ) otherwise, so the percentile is 0 below that mass.
+    """
+    if not 0 < quantile < 1:
+        raise ValueError(f"quantile must be in (0,1), got {quantile!r}")
+    offered = arrival_rate / service_rate
+    probability_wait = erlang_c(num_servers, offered)
+    if quantile <= 1.0 - probability_wait:
+        return 0.0
+    conditional_quantile = 1.0 - (1.0 - quantile) / probability_wait
+    rate = num_servers * service_rate - arrival_rate
+    return -math.log(1.0 - conditional_quantile) / rate
+
+
+def mg1_mean_wait(
+    arrival_rate: float, mean_service: float, second_moment_service: float
+) -> float:
+    """Pollaczek–Khinchine mean wait for M/G/1: λE[S²] / (2(1−ρ))."""
+    rho = arrival_rate * mean_service
+    _check_stability(rho)
+    if second_moment_service < mean_service**2:
+        raise ValueError("E[S^2] cannot be below E[S]^2")
+    return arrival_rate * second_moment_service / (2.0 * (1.0 - rho))
+
+
+def mg1_mean_sojourn(
+    arrival_rate: float, mean_service: float, second_moment_service: float
+) -> float:
+    """Mean M/G/1 sojourn time: P-K wait + mean service."""
+    return (
+        mg1_mean_wait(arrival_rate, mean_service, second_moment_service)
+        + mean_service
+    )
+
+
+def mgc_mean_wait_allen_cunneen(
+    num_servers: int,
+    arrival_rate: float,
+    mean_service: float,
+    scv_service: float,
+) -> float:
+    """Allen–Cunneen approximation for the M/G/c mean waiting time.
+
+    ``W_MGc ≈ W_MMc · (1 + cs²) / 2`` where cs² is the service-time
+    squared coefficient of variation. Exact for M/M/c (cs²=1) and
+    M/G/1 (it reduces to Pollaczek–Khinchine); a few-percent
+    approximation otherwise — the standard first-order tool for sizing
+    multi-server systems with non-exponential service.
+    """
+    if mean_service <= 0:
+        raise ValueError(f"mean_service must be positive, got {mean_service!r}")
+    if scv_service < 0:
+        raise ValueError(f"scv_service must be non-negative, got {scv_service!r}")
+    base_wait = mmc_mean_wait(num_servers, arrival_rate, 1.0 / mean_service)
+    return base_wait * (1.0 + scv_service) / 2.0
+
+
+def gg1_mean_wait_kingman(
+    arrival_rate: float,
+    mean_service: float,
+    scv_arrival: float,
+    scv_service: float,
+) -> float:
+    """Kingman's heavy-traffic approximation for the G/G/1 mean wait.
+
+    ``W ≈ (ρ/(1−ρ)) · ((ca² + cs²)/2) · E[S]``. Exact for M/M/1;
+    asymptotically exact as ρ→1. The workhorse bound for arrival
+    processes that are not Poisson.
+    """
+    if scv_arrival < 0 or scv_service < 0:
+        raise ValueError("squared coefficients of variation must be >= 0")
+    rho = arrival_rate * mean_service
+    _check_stability(rho)
+    return (
+        (rho / (1.0 - rho))
+        * ((scv_arrival + scv_service) / 2.0)
+        * mean_service
+    )
+
+
+def mmc_sojourn_cdf(
+    num_servers: int, arrival_rate: float, service_rate: float, t: float
+) -> float:
+    """Exact CDF of the M/M/c FIFO sojourn time at ``t``.
+
+    In M/M/c the waiting time W is independent of the tagged customer's
+    own service S, so T = W + S with W a point mass at 0 plus an
+    exponential tail: closed-form convolution. This pins the Fig. 2a
+    exponential curves analytically (both 1×16 = M/M/16 and each queue
+    of 16×1 = M/M/1).
+    """
+    if t < 0:
+        return 0.0
+    mu = service_rate
+    probability_wait = erlang_c(num_servers, arrival_rate / mu)
+    theta = num_servers * mu - arrival_rate  # conditional wait rate
+    # P(T <= t) = (1 - Pw) * P(S <= t) + Pw * P(S + W' <= t).
+    no_wait_part = (1.0 - probability_wait) * (1.0 - math.exp(-mu * t))
+    if abs(theta - mu) < 1e-12 * mu:
+        # S and W' share the rate: Erlang-2 convolution.
+        wait_part = probability_wait * (
+            1.0 - math.exp(-mu * t) * (1.0 + mu * t)
+        )
+    else:
+        wait_part = probability_wait * (
+            1.0
+            - (theta * math.exp(-mu * t) - mu * math.exp(-theta * t))
+            / (theta - mu)
+        )
+    return no_wait_part + wait_part
+
+
+def mmc_sojourn_percentile(
+    num_servers: int,
+    arrival_rate: float,
+    service_rate: float,
+    quantile: float,
+    tolerance: float = 1e-10,
+) -> float:
+    """Exact M/M/c FIFO sojourn percentile (bisection on the CDF)."""
+    if not 0 < quantile < 1:
+        raise ValueError(f"quantile must be in (0,1), got {quantile!r}")
+    rho = arrival_rate / (num_servers * service_rate)
+    _check_stability(rho)
+    low, high = 0.0, 1.0 / service_rate
+    while mmc_sojourn_cdf(num_servers, arrival_rate, service_rate, high) < quantile:
+        high *= 2.0
+        if high > 1e12 / service_rate:  # pragma: no cover - guard
+            raise RuntimeError("percentile search diverged")
+    while high - low > tolerance * high:
+        mid = 0.5 * (low + high)
+        if mmc_sojourn_cdf(num_servers, arrival_rate, service_rate, mid) < quantile:
+            low = mid
+        else:
+            high = mid
+    return 0.5 * (low + high)

@@ -1,0 +1,114 @@
+"""Exact event simulation of a FIFO multi-server queue.
+
+This is the performance-critical inner loop of the theoretical queueing
+experiments (Fig. 2, Fig. 9's "Model" series), so it avoids the generic
+DES kernel: for a FIFO queue with ``c`` identical servers, a request's
+start time is ``max(arrival, earliest-free-server)``, which a heap of
+server-free times computes exactly in O(n log c).
+
+Correctness is cross-checked in the tests against (a) analytic M/M/1 and
+M/M/c results and (b) a slow generic-kernel implementation
+(:mod:`repro.queueing.kernelsim`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["simulate_fifo_queue", "sojourn_times"]
+
+
+def simulate_fifo_queue(
+    arrival_times: np.ndarray,
+    service_times: np.ndarray,
+    num_servers: int,
+) -> np.ndarray:
+    """Simulate one FIFO queue with ``num_servers`` servers.
+
+    Parameters
+    ----------
+    arrival_times:
+        Non-decreasing absolute arrival times.
+    service_times:
+        Per-request service times (same length as arrivals).
+    num_servers:
+        Number of identical serving units pulling from this FIFO.
+
+    Returns
+    -------
+    numpy.ndarray
+        Departure times, one per request, in arrival order.
+    """
+    arrivals = np.asarray(arrival_times, dtype=float)
+    services = np.asarray(service_times, dtype=float)
+    if arrivals.shape != services.shape:
+        raise ValueError(
+            f"arrivals and services differ in length: {arrivals.shape} vs {services.shape}"
+        )
+    if arrivals.ndim != 1:
+        raise ValueError("expected 1-D arrays")
+    if num_servers <= 0:
+        raise ValueError(f"num_servers must be positive, got {num_servers!r}")
+    if arrivals.size and np.any(np.diff(arrivals) < 0):
+        raise ValueError("arrival_times must be non-decreasing")
+    if np.any(services < 0):
+        raise ValueError("service times must be non-negative")
+
+    departures = np.empty_like(arrivals)
+    if num_servers == 1:
+        # Lindley recurrence, the common case for the 16x1 model.
+        free_at = 0.0
+        for index in range(arrivals.size):
+            start = arrivals[index] if arrivals[index] > free_at else free_at
+            free_at = start + services[index]
+            departures[index] = free_at
+        return departures
+
+    free_heap = [0.0] * num_servers
+    heapq.heapify(free_heap)
+    pop = heapq.heappop
+    push = heapq.heappush
+    for index in range(arrivals.size):
+        free = pop(free_heap)
+        arrival = arrivals[index]
+        start = arrival if arrival > free else free
+        depart = start + services[index]
+        push(free_heap, depart)
+        departures[index] = depart
+    return departures
+
+
+def sojourn_times(
+    arrival_times: np.ndarray,
+    service_times: np.ndarray,
+    num_servers: int,
+    warmup_fraction: float = 0.0,
+) -> np.ndarray:
+    """Sojourn (queueing + service) times for a FIFO multi-server queue.
+
+    ``warmup_fraction`` drops the earliest-arriving fraction of requests
+    so transient start-up bias does not pollute tail estimates.
+    """
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ValueError(f"warmup_fraction must be in [0,1), got {warmup_fraction!r}")
+    departures = simulate_fifo_queue(arrival_times, service_times, num_servers)
+    sojourns = departures - np.asarray(arrival_times, dtype=float)
+    if warmup_fraction > 0.0 and sojourns.size:
+        skip = int(sojourns.size * warmup_fraction)
+        sojourns = sojourns[skip:]
+    return sojourns
+
+
+def poisson_arrivals(
+    rng: np.random.Generator, rate: float, count: int, start: float = 0.0
+) -> np.ndarray:
+    """Absolute arrival times of a Poisson process with the given rate."""
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate!r}")
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count!r}")
+    gaps = rng.exponential(1.0 / rate, size=count)
+    return start + np.cumsum(gaps)

@@ -1,0 +1,125 @@
+"""Preemptive single-queue scheduling (the §7 Shinjuku combination).
+
+The paper's related work discusses Shinjuku [Kaffes et al., NSDI'19],
+which preempts long-running RPCs every 5–15µs instead of running to
+completion, and observes that "a system combining Shinjuku and RPCValet
+would rigorously handle RPCs of a broad runtime range". This module
+provides the queueing-model side of that combination: an exact
+event-driven simulation of a single-queue multi-server system with
+**preemptive quantum scheduling** — a job that exceeds the quantum is
+put back at the tail of the shared queue.
+
+Against the Masstree-like mixture (99% ~1µs gets + 1% 60–120µs scans),
+preemption bounds the time a get can be stuck behind a scan to one
+quantum, at the cost of context-switch overhead per preemption — the
+trade Shinjuku's evaluation explores, reproduced here on RPCValet's
+single-queue substrate (see ``benchmarks/bench_extensions.py``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["simulate_preemptive_queue", "PreemptionResult"]
+
+
+class PreemptionResult:
+    """Sojourn times plus preemption accounting."""
+
+    __slots__ = ("sojourns", "preemptions", "jobs")
+
+    def __init__(self, sojourns: np.ndarray, preemptions: int, jobs: int) -> None:
+        self.sojourns = sojourns
+        self.preemptions = preemptions
+        self.jobs = jobs
+
+    @property
+    def preemptions_per_job(self) -> float:
+        return self.preemptions / self.jobs if self.jobs else 0.0
+
+
+def simulate_preemptive_queue(
+    arrival_times: np.ndarray,
+    service_times: np.ndarray,
+    num_servers: int,
+    quantum: float,
+    preemption_overhead: float = 0.0,
+) -> PreemptionResult:
+    """Single FIFO queue, ``num_servers`` servers, quantum preemption.
+
+    A job runs for up to ``quantum``; if work remains it pays
+    ``preemption_overhead`` (context save/restore) and re-enters the
+    queue tail. The overhead is added to the job's remaining work — it
+    occupies the core and is itself subject to slicing, so a job of
+    size s experiences total occupancy T solving
+    ``T = s + o·(ceil(T/q) − 1)``. ``quantum = inf`` degenerates to
+    run-to-completion FIFO (verified against
+    :func:`simulate_fifo_queue` in the tests).
+
+    Returns sojourn times in arrival order.
+    """
+    arrivals = np.asarray(arrival_times, dtype=float)
+    services = np.asarray(service_times, dtype=float)
+    if arrivals.shape != services.shape:
+        raise ValueError("arrivals and services must have identical shapes")
+    if arrivals.size and np.any(np.diff(arrivals) < 0):
+        raise ValueError("arrival_times must be non-decreasing")
+    if np.any(services < 0):
+        raise ValueError("service times must be non-negative")
+    if num_servers <= 0:
+        raise ValueError(f"num_servers must be positive, got {num_servers!r}")
+    if quantum <= 0:
+        raise ValueError(f"quantum must be positive, got {quantum!r}")
+    if preemption_overhead < 0:
+        raise ValueError("preemption_overhead must be non-negative")
+
+    n = arrivals.size
+    sojourns = np.empty(n, dtype=float)
+    remaining = services.copy()
+    queue: Deque[int] = deque()
+    # Completion/preemption events: (time, seq, server_free_marker, job).
+    events: List[Tuple[float, int, int]] = []
+    idle_servers = num_servers
+    next_arrival = 0
+    seq = 0
+    preemptions = 0
+
+    def start(job: int, now: float) -> None:
+        nonlocal idle_servers, seq
+        idle_servers -= 1
+        slice_length = remaining[job] if remaining[job] <= quantum else quantum
+        heapq.heappush(events, (now + slice_length, seq, job))
+        seq += 1
+
+    time = 0.0
+    while next_arrival < n or events:
+        next_event_time = events[0][0] if events else np.inf
+        next_arrival_time = arrivals[next_arrival] if next_arrival < n else np.inf
+        if next_arrival_time <= next_event_time:
+            time = next_arrival_time
+            job = next_arrival
+            next_arrival += 1
+            if idle_servers > 0:
+                start(job, time)
+            else:
+                queue.append(job)
+        else:
+            time, _seq, job = heapq.heappop(events)
+            ran = remaining[job] if remaining[job] <= quantum else quantum
+            remaining[job] -= ran
+            if remaining[job] > 1e-12:
+                # Preempted: pay the overhead, requeue at the tail.
+                preemptions += 1
+                remaining[job] += preemption_overhead
+                queue.append(job)
+            else:
+                sojourns[job] = time - arrivals[job]
+            # The server is free; take the next queued job or go idle.
+            idle_servers += 1
+            if queue:
+                start(queue.popleft(), time)
+    return PreemptionResult(sojourns, preemptions, n)

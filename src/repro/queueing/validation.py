@@ -1,0 +1,110 @@
+"""Self-validation of the queueing simulators against closed forms.
+
+Runs the exact FIFO simulator across an (arrival, service, servers)
+grid and compares means/tails to textbook results (M/M/1, M/M/c via
+Erlang-C, M/G/1 via Pollaczek–Khinchine). This is the "why should I
+trust this simulator" artifact: run it any time with
+
+    python -m repro.experiments validate
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from .analytic import (
+    mg1_mean_sojourn,
+    mm1_mean_sojourn,
+    mm1_sojourn_percentile,
+    mmc_mean_sojourn,
+)
+from .fastsim import poisson_arrivals, sojourn_times
+
+__all__ = ["ValidationRow", "run_validation"]
+
+
+@dataclass(frozen=True)
+class ValidationRow:
+    """One simulated-vs-analytic comparison."""
+
+    system: str
+    metric: str
+    analytic: float
+    simulated: float
+
+    @property
+    def relative_error(self) -> float:
+        if self.analytic == 0:
+            return float("nan")
+        return abs(self.simulated - self.analytic) / self.analytic
+
+
+def run_validation(
+    num_requests: int = 300_000, seed: int = 0
+) -> List[ValidationRow]:
+    """Compare the FIFO simulator to closed forms across a grid."""
+    if num_requests < 1_000:
+        raise ValueError("validation needs a meaningful sample size")
+    rng = np.random.default_rng(seed)
+    rows: List[ValidationRow] = []
+
+    # --- M/M/1 at several utilizations --------------------------------------
+    for rho in (0.3, 0.6, 0.8):
+        arrivals = poisson_arrivals(rng, rho, num_requests)
+        services = rng.exponential(1.0, num_requests)
+        sojourns = sojourn_times(arrivals, services, 1, warmup_fraction=0.1)
+        rows.append(
+            ValidationRow(
+                f"M/M/1 rho={rho}",
+                "mean sojourn",
+                mm1_mean_sojourn(rho, 1.0),
+                float(sojourns.mean()),
+            )
+        )
+        rows.append(
+            ValidationRow(
+                f"M/M/1 rho={rho}",
+                "p99 sojourn",
+                mm1_sojourn_percentile(rho, 1.0, 0.99),
+                float(np.percentile(sojourns, 99)),
+            )
+        )
+
+    # --- M/M/c (the paper's 16 serving units) --------------------------------
+    for servers, rho in ((4, 0.7), (16, 0.8), (16, 0.95)):
+        rate = rho * servers
+        arrivals = poisson_arrivals(rng, rate, num_requests)
+        services = rng.exponential(1.0, num_requests)
+        sojourns = sojourn_times(
+            arrivals, services, servers, warmup_fraction=0.1
+        )
+        rows.append(
+            ValidationRow(
+                f"M/M/{servers} rho={rho}",
+                "mean sojourn",
+                mmc_mean_sojourn(servers, rate, 1.0),
+                float(sojourns.mean()),
+            )
+        )
+
+    # --- M/G/1 with two service shapes ---------------------------------------
+    for label, sampler, second_moment in (
+        ("M/D/1", lambda n: np.full(n, 1.0), 1.0),
+        ("M/U(0,2)/1", lambda n: rng.uniform(0.0, 2.0, n), 4.0 / 3.0),
+    ):
+        rho = 0.7
+        arrivals = poisson_arrivals(rng, rho, num_requests)
+        services = sampler(num_requests)
+        sojourns = sojourn_times(arrivals, services, 1, warmup_fraction=0.1)
+        rows.append(
+            ValidationRow(
+                f"{label} rho={rho}",
+                "mean sojourn",
+                mg1_mean_sojourn(rho, 1.0, second_moment),
+                float(sojourns.mean()),
+            )
+        )
+    return rows

@@ -1,0 +1,164 @@
+"""The simulation environment: clock, event heap, and run loop.
+
+The :class:`Environment` is the single shared object threaded through
+every model in this repository. Time is a ``float`` whose unit is by
+convention **nanoseconds** in the architectural simulator
+(:mod:`repro.arch`) and **multiples of the mean service time** in the
+theoretical queueing models (:mod:`repro.queueing`); the kernel itself
+is unit-agnostic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, List, Optional, Tuple
+
+from .events import AllOf, AnyOf, Event, Process, Timeout
+
+__all__ = ["Environment", "EmptySchedule"]
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+#: Priority used for normal events; urgent events (interrupts) use 0.
+_NORMAL = 1
+
+
+class Environment:
+    """A discrete-event simulation environment.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulation clock.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_process: Optional[Process] = None
+
+    # -- clock ----------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event creation ---------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self,
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> Process:
+        """Start a new process driving ``generator``."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: List[Event]) -> AnyOf:
+        """Event that fires when any of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: List[Event]) -> AllOf:
+        """Event that fires when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = _NORMAL) -> None:
+        """Queue ``event`` to be processed ``delay`` units from now."""
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._eid), event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event.
+
+        Raises
+        ------
+        EmptySchedule
+            If no events are scheduled.
+        """
+        try:
+            when, _prio, _eid, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+        self._now = when
+
+        callbacks = event.callbacks
+        event.callbacks = None  # marks the event as processed
+        event._processed = True
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # A failure nobody handled: surface it instead of dropping it.
+            raise event._value
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until the schedule is exhausted;
+        * a number — run until the clock reaches that time;
+        * an :class:`Event` — run until that event is processed, and
+          return its value (or raise its exception).
+        """
+        if until is None:
+            stop_at = float("inf")
+            stop_event: Optional[Event] = None
+        elif isinstance(until, Event):
+            stop_event = until
+            stop_at = float("inf")
+            if stop_event.callbacks is None:  # already processed
+                if stop_event.ok:
+                    return stop_event.value
+                raise stop_event.value
+            done = []
+            stop_event.add_callback(done.append)
+        else:
+            stop_at = float(until)
+            stop_event = None
+            if stop_at < self._now:
+                raise ValueError(
+                    f"until ({stop_at}) must not be before now ({self._now})"
+                )
+            done = []
+
+        while True:
+            if stop_event is not None and stop_event.processed:
+                if stop_event.ok:
+                    return stop_event.value
+                raise stop_event.value
+            if not self._queue:
+                if stop_event is not None:
+                    raise RuntimeError(
+                        "simulation ended before the awaited event fired"
+                    )
+                return None
+            if self._queue[0][0] > stop_at:
+                self._now = stop_at
+                return None
+            self.step()

@@ -1,0 +1,68 @@
+"""Reproducible named random-number streams.
+
+Every stochastic component in the reproduction (arrival process, each
+service-time distribution, RSS hashing, policy tie-breaking, ...) draws
+from its *own* named stream derived from a single experiment seed. This
+gives two properties the experiments rely on:
+
+* **Reproducibility** — the same seed yields bit-identical runs.
+* **Common random numbers** — changing one component (e.g. the dispatch
+  policy) does not perturb the random draws of the others, which makes
+  A/B comparisons between configurations far less noisy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["RngRegistry"]
+
+
+def _stream_key(name: str) -> int:
+    """Derive a stable 64-bit integer from a stream name."""
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+class RngRegistry:
+    """A factory of independent, named ``numpy.random.Generator`` streams.
+
+    Parameters
+    ----------
+    seed:
+        Experiment-level seed. Two registries with the same seed hand
+        out identical streams for identical names.
+
+    Examples
+    --------
+    >>> rngs = RngRegistry(seed=7)
+    >>> arrivals = rngs.stream("arrivals")
+    >>> service = rngs.stream("service/core0")
+    >>> rngs.stream("arrivals") is arrivals   # cached
+    True
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        if not isinstance(seed, int):
+            raise TypeError(f"seed must be an int, got {type(seed).__name__}")
+        self.seed = seed
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it on first use."""
+        generator = self._streams.get(name)
+        if generator is None:
+            seq = np.random.SeedSequence(entropy=(self.seed, _stream_key(name)))
+            generator = np.random.default_rng(seq)
+            self._streams[name] = generator
+        return generator
+
+    def spawn(self, name: str) -> "RngRegistry":
+        """Create a child registry whose streams are independent of ours."""
+        return RngRegistry(seed=(self.seed * 0x9E3779B1 + _stream_key(name)) % 2**63)
+
+    def __repr__(self) -> str:
+        return f"RngRegistry(seed={self.seed}, streams={sorted(self._streams)})"

@@ -1,0 +1,20 @@
+"""Small helpers on top of the kernel."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .engine import Environment
+
+__all__ = ["delayed_call"]
+
+
+def delayed_call(
+    env: Environment, delay: float, fn: Callable[..., Any], *args: Any
+) -> None:
+    """Invoke ``fn(*args)`` after ``delay`` time units.
+
+    Cheaper than spawning a process: a bare timeout with a callback.
+    Used for fire-and-forget latency modeling (mesh hops, wire delays).
+    """
+    env.timeout(delay).add_callback(lambda _event: fn(*args))

@@ -1,0 +1,16 @@
+"""Execution-driven stores: skip list (Masstree-like), hash table (HERD)."""
+
+from .costmodel import CostModel
+from .hashtable import HashTable, TimedHashKV
+from .kvstore import KVStore, TimedKVStore
+from .skiplist import OpStats, SkipList
+
+__all__ = [
+    "SkipList",
+    "OpStats",
+    "KVStore",
+    "TimedKVStore",
+    "HashTable",
+    "TimedHashKV",
+    "CostModel",
+]

@@ -1,0 +1,59 @@
+"""Cost model: skip-list work → simulated nanoseconds.
+
+Maps an operation's :class:`~repro.store.skiplist.OpStats` to a
+processing time on the modeled core. The constants are chosen so a
+get on a ~1M-key store costs ≈1.25µs (matching Fig. 6c's measured
+Masstree mean) and a 100-key scan lands in the paper's 60–120µs band:
+pointer chases on a large trie-like store miss the cache frequently, so
+the per-hop cost is of DRAM-access magnitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .skiplist import OpStats
+
+__all__ = ["CostModel"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-unit costs (ns) for converting OpStats into processing time."""
+
+    #: Fixed per-request software overhead (request parse, reply build).
+    fixed_ns: float = 350.0
+    #: Cost per horizontal node traversal (likely LLC/DRAM miss).
+    per_node_ns: float = 45.0
+    #: Cost per level descent (mostly cache-resident).
+    per_level_ns: float = 12.0
+    #: Cost per item materialized by a scan (copy + next-pointer chase).
+    per_scan_item_ns: float = 900.0
+    #: Multiplicative jitter std (models TLB misses, interference).
+    jitter_std_fraction: float = 0.12
+
+    def __post_init__(self) -> None:
+        for name in ("fixed_ns", "per_node_ns", "per_level_ns", "per_scan_item_ns"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if not 0 <= self.jitter_std_fraction < 1:
+            raise ValueError("jitter_std_fraction must be in [0, 1)")
+
+    def base_cost_ns(self, stats: OpStats) -> float:
+        """Deterministic cost of the work performed."""
+        return (
+            self.fixed_ns
+            + stats.nodes_traversed * self.per_node_ns
+            + stats.levels_descended * self.per_level_ns
+            + stats.items_scanned * self.per_scan_item_ns
+        )
+
+    def cost_ns(self, stats: OpStats, rng: np.random.Generator) -> float:
+        """Jittered cost (truncated at 10% of the base, never negative)."""
+        base = self.base_cost_ns(stats)
+        if self.jitter_std_fraction == 0:
+            return base
+        jittered = base * rng.normal(1.0, self.jitter_std_fraction)
+        return max(jittered, 0.1 * base)

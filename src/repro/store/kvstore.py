@@ -1,0 +1,113 @@
+"""An execution-driven key-value service over the skip list.
+
+:class:`TimedKVStore` is the object the Masstree workload plugs in for
+execution-driven mode: every sampled request actually runs against the
+skip list, and its processing time is derived from the measured work
+through the cost model. The service layer (:class:`KVStore`) is also
+usable directly by examples as a plain ordered KV store.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+import numpy as np
+
+from .costmodel import CostModel
+from .skiplist import OpStats, SkipList
+
+__all__ = ["KVStore", "TimedKVStore"]
+
+
+class KVStore:
+    """Ordered KV service: get/put/delete/scan with work accounting."""
+
+    def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
+        self._list = SkipList(rng=rng)
+        #: Cumulative work counters (observability).
+        self.ops = 0
+        self.total_hops = 0
+
+    def __len__(self) -> int:
+        return len(self._list)
+
+    def _account(self, stats: OpStats) -> OpStats:
+        self.ops += 1
+        self.total_hops += stats.total_hops
+        return stats
+
+    def get(self, key: Any) -> Tuple[Optional[Any], OpStats]:
+        value, stats = self._list.get(key)
+        return value, self._account(stats)
+
+    def put(self, key: Any, value: Any) -> OpStats:
+        return self._account(self._list.put(key, value))
+
+    def delete(self, key: Any) -> Tuple[bool, OpStats]:
+        removed, stats = self._list.delete(key)
+        return removed, self._account(stats)
+
+    def scan(self, start_key: Any, count: int) -> Tuple[List[Tuple[Any, Any]], OpStats]:
+        items, stats = self._list.scan(start_key, count)
+        return items, self._account(stats)
+
+
+class TimedKVStore:
+    """KVStore + CostModel: requests return simulated processing times.
+
+    Satisfies the interface :class:`repro.workloads.MasstreeWorkload`
+    expects for execution-driven mode (``timed_get`` / ``timed_scan`` /
+    ``expected_get_ns`` / ``expected_scan_ns``).
+    """
+
+    def __init__(
+        self,
+        num_keys: int,
+        cost_model: Optional[CostModel] = None,
+        seed: int = 0,
+    ) -> None:
+        if num_keys <= 0:
+            raise ValueError(f"num_keys must be positive, got {num_keys!r}")
+        self._rng = np.random.default_rng(seed)
+        self.store = KVStore(rng=self._rng)
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.num_keys = num_keys
+        for key in range(num_keys):
+            self.store.put(key, f"value-{key}")
+        # Calibrate expectations empirically on this store instance.
+        self._expected_get_ns = self._measure_mean_get()
+
+    def _measure_mean_get(self, samples: int = 512) -> float:
+        rng = np.random.default_rng(12345)
+        total = 0.0
+        for _ in range(samples):
+            key = int(rng.integers(0, self.num_keys))
+            _value, stats = self.store._list.get(key)
+            total += self.cost_model.base_cost_ns(stats)
+        return total / samples
+
+    # -- the workload-facing interface -------------------------------------------
+
+    def timed_get(self, rng: np.random.Generator) -> float:
+        key = int(rng.integers(0, self.num_keys))
+        value, stats = self.store.get(key)
+        if value is None:
+            raise RuntimeError(f"preloaded key {key} missing")
+        return self.cost_model.cost_ns(stats, rng)
+
+    def timed_scan(self, count: int, rng: np.random.Generator) -> float:
+        start = int(rng.integers(0, self.num_keys))
+        _items, stats = self.store.scan(start, count)
+        return self.cost_model.cost_ns(stats, rng)
+
+    @property
+    def expected_get_ns(self) -> float:
+        """Mean get processing time on this store (measured)."""
+        return self._expected_get_ns
+
+    def expected_scan_ns(self, count: int) -> float:
+        """Approximate mean scan cost: get-like search + items."""
+        return (
+            self._expected_get_ns
+            + count * self.cost_model.per_scan_item_ns
+        )

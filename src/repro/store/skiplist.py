@@ -1,0 +1,193 @@
+"""A real skip-list ordered map.
+
+§3.2 of the paper motivates NI-driven balancing with "a data serving
+tier such as Redis, maintaining a sorted array in memory. Since the
+implementation of its sorted list container uses a skip list...". This
+module implements that container for the execution-driven Masstree-like
+workload: operations return both the result and the *work performed*
+(nodes traversed, levels descended), which a cost model converts into
+simulated processing time.
+
+The implementation is a textbook randomized skip list with geometric
+level promotion (p = 1/2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["SkipList", "OpStats"]
+
+_MAX_LEVEL = 32
+_P_NUMERATOR = 1  # promotion probability 1/2
+_P_DENOMINATOR = 2
+
+
+@dataclass(frozen=True)
+class OpStats:
+    """Work performed by one skip-list operation."""
+
+    #: Horizontal node-to-node moves during the search.
+    nodes_traversed: int
+    #: Vertical level descents during the search.
+    levels_descended: int
+    #: Items touched by a scan (0 for point ops).
+    items_scanned: int = 0
+
+    @property
+    def total_hops(self) -> int:
+        return self.nodes_traversed + self.levels_descended + self.items_scanned
+
+
+class _Node:
+    __slots__ = ("key", "value", "forward")
+
+    def __init__(self, key: Any, value: Any, level: int) -> None:
+        self.key = key
+        self.value = value
+        self.forward: List[Optional["_Node"]] = [None] * level
+
+
+class SkipList:
+    """Ordered map with O(log n) expected point ops and ordered scans."""
+
+    def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._head = _Node(None, None, _MAX_LEVEL)
+        self._level = 1
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: Any) -> bool:
+        value, _stats = self.get(key)
+        return value is not None or self._has_key(key)
+
+    def _has_key(self, key: Any) -> bool:
+        node, _stats = self._find(key)
+        return node is not None and node.key == key
+
+    @property
+    def level(self) -> int:
+        """Current number of active levels."""
+        return self._level
+
+    def _random_level(self) -> int:
+        level = 1
+        while (
+            level < _MAX_LEVEL
+            and self._rng.integers(0, _P_DENOMINATOR) < _P_NUMERATOR
+        ):
+            level += 1
+        return level
+
+    def _find(self, key: Any) -> Tuple[Optional[_Node], OpStats]:
+        """Locate the node with ``key`` (or None), counting work."""
+        node = self._head
+        nodes_traversed = 0
+        levels_descended = 0
+        for level in range(self._level - 1, -1, -1):
+            while node.forward[level] is not None and node.forward[level].key < key:
+                node = node.forward[level]
+                nodes_traversed += 1
+            levels_descended += 1
+        candidate = node.forward[0]
+        stats = OpStats(nodes_traversed, levels_descended)
+        if candidate is not None and candidate.key == key:
+            return candidate, stats
+        return None, stats
+
+    # -- public operations -------------------------------------------------------
+
+    def get(self, key: Any) -> Tuple[Optional[Any], OpStats]:
+        """Return ``(value, stats)``; value is None when absent."""
+        node, stats = self._find(key)
+        return (node.value if node is not None else None), stats
+
+    def put(self, key: Any, value: Any) -> OpStats:
+        """Insert or update ``key``."""
+        update: List[_Node] = [self._head] * _MAX_LEVEL
+        node = self._head
+        nodes_traversed = 0
+        levels_descended = 0
+        for level in range(self._level - 1, -1, -1):
+            while node.forward[level] is not None and node.forward[level].key < key:
+                node = node.forward[level]
+                nodes_traversed += 1
+            update[level] = node
+            levels_descended += 1
+        candidate = node.forward[0]
+        if candidate is not None and candidate.key == key:
+            candidate.value = value
+            return OpStats(nodes_traversed, levels_descended)
+        new_level = self._random_level()
+        if new_level > self._level:
+            self._level = new_level
+        new_node = _Node(key, value, new_level)
+        for level in range(new_level):
+            new_node.forward[level] = update[level].forward[level]
+            update[level].forward[level] = new_node
+        self._size += 1
+        return OpStats(nodes_traversed, levels_descended)
+
+    def delete(self, key: Any) -> Tuple[bool, OpStats]:
+        """Remove ``key``; returns (removed?, stats)."""
+        update: List[_Node] = [self._head] * _MAX_LEVEL
+        node = self._head
+        nodes_traversed = 0
+        levels_descended = 0
+        for level in range(self._level - 1, -1, -1):
+            while node.forward[level] is not None and node.forward[level].key < key:
+                node = node.forward[level]
+                nodes_traversed += 1
+            update[level] = node
+            levels_descended += 1
+        target = node.forward[0]
+        stats = OpStats(nodes_traversed, levels_descended)
+        if target is None or target.key != key:
+            return False, stats
+        for level in range(len(target.forward)):
+            if update[level].forward[level] is target:
+                update[level].forward[level] = target.forward[level]
+        while self._level > 1 and self._head.forward[self._level - 1] is None:
+            self._level -= 1
+        self._size -= 1
+        return True, stats
+
+    def scan(self, start_key: Any, count: int) -> Tuple[List[Tuple[Any, Any]], OpStats]:
+        """Return up to ``count`` items with key >= start_key, in order."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count!r}")
+        node = self._head
+        nodes_traversed = 0
+        levels_descended = 0
+        for level in range(self._level - 1, -1, -1):
+            while (
+                node.forward[level] is not None
+                and node.forward[level].key < start_key
+            ):
+                node = node.forward[level]
+                nodes_traversed += 1
+            levels_descended += 1
+        items: List[Tuple[Any, Any]] = []
+        cursor = node.forward[0]
+        while cursor is not None and len(items) < count:
+            items.append((cursor.key, cursor.value))
+            cursor = cursor.forward[0]
+        stats = OpStats(nodes_traversed, levels_descended, items_scanned=len(items))
+        return items, stats
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """All items in key order."""
+        node = self._head.forward[0]
+        while node is not None:
+            yield node.key, node.value
+            node = node.forward[0]
+
+    def keys(self) -> Iterator[Any]:
+        for key, _value in self.items():
+            yield key

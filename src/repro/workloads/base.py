@@ -1,0 +1,76 @@
+"""Workload protocol: what an RPC stream looks like to the simulator.
+
+A workload answers two questions per request: how long will the RPC's
+processing take on a core, and what class is it (for per-class SLOs,
+like Masstree's gets-only tail). It also declares request/reply sizes,
+which drive packetization at the NI.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Tuple
+
+import numpy as np
+
+from ..dists import Distribution
+
+__all__ = ["RpcWorkload", "DistributionWorkload"]
+
+
+class RpcWorkload(abc.ABC):
+    """A stream of RPC requests."""
+
+    name = "workload"
+
+    #: Payload of the incoming request message (paper: small KV ops).
+    request_size_bytes: int = 128
+
+    #: Payload of the reply (§5: "a send operation with a 512B payload").
+    reply_size_bytes: int = 512
+
+    #: The label whose tail latency the experiment's SLO constrains.
+    slo_label: str = "rpc"
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator) -> Tuple[float, str]:
+        """Draw one request: ``(processing_time_ns, label)``."""
+
+    @property
+    @abc.abstractmethod
+    def mean_processing_ns(self) -> float:
+        """Mean processing time D̄ across all request classes."""
+
+    @property
+    def slo_mean_processing_ns(self) -> float:
+        """Mean processing time of the SLO-relevant class.
+
+        Defaults to the overall mean; mixtures override (Masstree's SLO
+        is 10× the *get* service time).
+        """
+        return self.mean_processing_ns
+
+
+class DistributionWorkload(RpcWorkload):
+    """Single-class workload drawing from one distribution."""
+
+    def __init__(
+        self,
+        distribution: Distribution,
+        name: str = "",
+        request_size_bytes: int = 128,
+        reply_size_bytes: int = 512,
+    ) -> None:
+        if request_size_bytes <= 0 or reply_size_bytes <= 0:
+            raise ValueError("message sizes must be positive")
+        self.distribution = distribution
+        self.name = name or distribution.name
+        self.request_size_bytes = request_size_bytes
+        self.reply_size_bytes = reply_size_bytes
+
+    def sample(self, rng: np.random.Generator) -> Tuple[float, str]:
+        return self.distribution.sample(rng), "rpc"
+
+    @property
+    def mean_processing_ns(self) -> float:
+        return self.distribution.mean

@@ -1,0 +1,82 @@
+"""Bimodal RPC workloads.
+
+The µs-RPC literature that followed RPCValet (Shinjuku, and the paper's
+own Masstree experiment) leans on bimodal service times: a mass of
+short requests plus a minority of long ones. This workload makes the
+two modes explicit and labelled, so experiments can set per-class SLOs
+and study how dispatch policy, preemption, and partitioning interact
+with mode separation — the dimension Fig. 7b explores with real
+Masstree scans.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..dists import Distribution, Exponential, Fixed
+from .base import RpcWorkload
+
+__all__ = ["BimodalWorkload"]
+
+
+class BimodalWorkload(RpcWorkload):
+    """``long_fraction`` long RPCs mixed into short ones.
+
+    Modes may be fixed or exponential around their means
+    (``variability="fixed" | "exponential"``). The SLO class is the
+    short mode (matching Fig. 7b's gets-only SLO convention).
+    """
+
+    name = "bimodal"
+    slo_label = "short"
+
+    def __init__(
+        self,
+        short_ns: float = 500.0,
+        long_ns: float = 5_000.0,
+        long_fraction: float = 0.1,
+        variability: str = "fixed",
+    ) -> None:
+        if short_ns <= 0 or long_ns <= 0:
+            raise ValueError("mode means must be positive")
+        if short_ns >= long_ns:
+            raise ValueError(
+                f"short mode ({short_ns!r}) must be below long mode ({long_ns!r})"
+            )
+        if not 0 < long_fraction < 1:
+            raise ValueError(f"long_fraction must be in (0,1), got {long_fraction!r}")
+        if variability not in ("fixed", "exponential"):
+            raise ValueError(
+                f"variability must be 'fixed' or 'exponential', got {variability!r}"
+            )
+        self.short_ns = short_ns
+        self.long_ns = long_ns
+        self.long_fraction = long_fraction
+        self.variability = variability
+        maker = Fixed if variability == "fixed" else Exponential
+        self._short: Distribution = maker(short_ns)
+        self._long: Distribution = maker(long_ns)
+        self.name = f"bimodal-{short_ns:g}/{long_ns:g}"
+
+    def sample(self, rng: np.random.Generator) -> Tuple[float, str]:
+        if rng.uniform() < self.long_fraction:
+            return self._long.sample(rng), "long"
+        return self._short.sample(rng), "short"
+
+    @property
+    def mean_processing_ns(self) -> float:
+        return (
+            (1.0 - self.long_fraction) * self.short_ns
+            + self.long_fraction * self.long_ns
+        )
+
+    @property
+    def slo_mean_processing_ns(self) -> float:
+        return self.short_ns
+
+    @property
+    def mode_separation(self) -> float:
+        """long/short mean ratio — the knob that stresses 16×1."""
+        return self.long_ns / self.short_ns

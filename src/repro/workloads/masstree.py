@@ -1,0 +1,84 @@
+"""Masstree-like ordered-store workload (§5, Fig. 6c / Fig. 7b).
+
+99% single-key ``get`` operations (mean 1.25µs) interleaved with 1%
+long-running ``scan`` operations returning 100 consecutive keys
+(60–120µs). The SLO covers only gets: the paper does "not consider the
+scan operations latency critical", but scans occupying cores for many
+µs are precisely what makes 16×1 violate the get SLO.
+
+Two modes:
+
+* distribution-driven (default) — processing times from the Fig. 6c
+  parametric substitute;
+* execution-driven — processing times derived from operations on a
+  real skip-list store (:mod:`repro.store`) through a cost model, for
+  users who want the service process coupled to actual data structure
+  work.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..dists import MASSTREE_SCAN_FRACTION, masstree_get, masstree_scan
+from .base import RpcWorkload
+
+__all__ = ["MasstreeWorkload"]
+
+
+class MasstreeWorkload(RpcWorkload):
+    """99% gets + 1% scans over an ordered key-value store."""
+
+    name = "masstree"
+    slo_label = "get"
+    request_size_bytes = 128
+    reply_size_bytes = 512
+
+    def __init__(
+        self,
+        scan_fraction: float = MASSTREE_SCAN_FRACTION,
+        store: Optional[object] = None,
+        scan_length: int = 100,
+    ) -> None:
+        if not 0 <= scan_fraction < 1:
+            raise ValueError(f"scan_fraction must be in [0,1), got {scan_fraction!r}")
+        self.scan_fraction = scan_fraction
+        self.scan_length = scan_length
+        self._get_dist = masstree_get()
+        self._scan_dist = masstree_scan()
+        #: Optional execution-driven backing store: an object with
+        #: ``timed_get(key, rng) -> ns`` and ``timed_scan(key, n, rng) -> ns``
+        #: (see repro.store.TimedKVStore).
+        self.store = store
+
+    def sample(self, rng: np.random.Generator) -> Tuple[float, str]:
+        is_scan = rng.uniform() < self.scan_fraction
+        if self.store is not None:
+            if is_scan:
+                return self.store.timed_scan(self.scan_length, rng), "scan"
+            return self.store.timed_get(rng), "get"
+        if is_scan:
+            return self._scan_dist.sample(rng), "scan"
+        return self._get_dist.sample(rng), "get"
+
+    @property
+    def mean_processing_ns(self) -> float:
+        if self.store is not None:
+            get_mean = self.store.expected_get_ns
+            scan_mean = self.store.expected_scan_ns(self.scan_length)
+        else:
+            get_mean = self._get_dist.mean
+            scan_mean = self._scan_dist.mean
+        return (
+            (1.0 - self.scan_fraction) * get_mean
+            + self.scan_fraction * scan_mean
+        )
+
+    @property
+    def slo_mean_processing_ns(self) -> float:
+        """Mean *get* processing time — the SLO's reference (12.5µs=10×)."""
+        if self.store is not None:
+            return self.store.expected_get_ns
+        return self._get_dist.mean

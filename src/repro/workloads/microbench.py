@@ -1,0 +1,106 @@
+"""The paper's microbenchmark loop as a :class:`CoreProgram` (§5).
+
+Each thread: (i) spins on its CQ; (ii) runs the emulated RPC processing
+time; (iii) sends a 512B reply; (iv) posts a replenish. The overall
+service time S̄ — the total time a core is occupied — is the sum of
+(ii)–(iv) plus the poll/read costs.
+
+The per-step costs are explicit parameters because the paper reports
+*measured* S̄ per experiment (≈550ns for HERD's 330ns-mean processing;
+≈1.2µs inferred from Fig. 7c's ~13 MRPS saturation for the 600ns-mean
+synthetic distributions) rather than a cost breakdown. The two presets
+reproduce those S̄ values; EXPERIMENTS.md records the S̄ each run
+actually measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.cpu import CoreProgram
+from ..arch.packets import SendMessage
+
+__all__ = ["MicrobenchCosts", "MicrobenchProgram"]
+
+
+@dataclass(frozen=True)
+class MicrobenchCosts:
+    """Per-request fixed costs of the microbenchmark loop (ns)."""
+
+    #: Poll-loop iteration granularity: CQE write → core notices it.
+    poll_detect_ns: float = 20.0
+    #: Reading the request payload out of the receive-buffer slot.
+    read_request_ns: float = 50.0
+    #: Building the 512B reply and posting its send WQE.
+    send_issue_ns: float = 100.0
+    #: Posting the replenish WQE.
+    replenish_issue_ns: float = 50.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "poll_detect_ns",
+            "read_request_ns",
+            "send_issue_ns",
+            "replenish_issue_ns",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    @property
+    def pre_ns(self) -> float:
+        """Costs before RPC processing starts."""
+        return self.poll_detect_ns + self.read_request_ns
+
+    @property
+    def post_ns(self) -> float:
+        """Costs after processing, through the replenish post."""
+        return self.send_issue_ns + self.replenish_issue_ns
+
+    @property
+    def total_ns(self) -> float:
+        """Total per-request overhead (S̄ − D̄)."""
+        return self.pre_ns + self.post_ns
+
+    @classmethod
+    def lean(cls) -> "MicrobenchCosts":
+        """≈220ns total — matches HERD's measured S̄ ≈ 550ns (Fig. 7a)."""
+        return cls(
+            poll_detect_ns=20.0,
+            read_request_ns=50.0,
+            send_issue_ns=100.0,
+            replenish_issue_ns=50.0,
+        )
+
+    @classmethod
+    def paper_synthetic(cls) -> "MicrobenchCosts":
+        """≈600ns total — matches Fig. 7c's ≈13 MRPS saturation.
+
+        The synthetic microbenchmark's measured S̄ (≈1.2µs for a 600ns
+        mean emulated processing time) implies a heavier event loop
+        than the HERD replay; see DESIGN.md §5 (calibration notes).
+        """
+        return cls(
+            poll_detect_ns=50.0,
+            read_request_ns=100.0,
+            send_issue_ns=300.0,
+            replenish_issue_ns=150.0,
+        )
+
+
+class MicrobenchProgram(CoreProgram):
+    """CoreProgram with fixed per-step costs plus the workload's D."""
+
+    def __init__(self, costs: MicrobenchCosts, reply_size_bytes: int = 512) -> None:
+        if reply_size_bytes <= 0:
+            raise ValueError(f"reply_size_bytes must be positive, got {reply_size_bytes!r}")
+        self.costs = costs
+        self._reply_size = reply_size_bytes
+
+    def pre_ns(self, msg: SendMessage) -> float:
+        return self.costs.pre_ns
+
+    def post_ns(self, msg: SendMessage) -> float:
+        return self.costs.post_ns
+
+    def reply_size_bytes(self, msg: SendMessage) -> int:
+        return self._reply_size

@@ -1,0 +1,152 @@
+"""Replay of measured service-time traces.
+
+The paper's own methodology is replay: it collects HERD/Masstree
+processing-time distributions on real hardware and feeds them to the
+microbenchmark. Users with measured traces can do exactly that here —
+load a CSV of per-request service times (+ optional class labels) and
+drive any experiment with it, instead of our parametric stand-ins.
+
+Arrivals remain Poisson (the paper's §5 open-loop methodology);
+only the service process is replayed.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import IO, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .base import RpcWorkload
+
+__all__ = ["TraceWorkload", "load_service_trace"]
+
+
+def load_service_trace(
+    source: Union[str, Path, IO[str]],
+    service_column: str = "service_ns",
+    label_column: Optional[str] = "label",
+) -> Tuple[List[float], Optional[List[str]]]:
+    """Load ``(services, labels)`` from a CSV trace.
+
+    The file needs a ``service_ns`` column; a ``label`` column is
+    optional (absent → all requests share one class). Returns labels as
+    None when the column is missing.
+    """
+    if hasattr(source, "read"):
+        handle = source
+        close = False
+    else:
+        handle = open(source, "r", encoding="utf-8", newline="")
+        close = True
+    try:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or service_column not in reader.fieldnames:
+            raise ValueError(
+                f"trace needs a {service_column!r} column, got {reader.fieldnames}"
+            )
+        has_labels = (
+            label_column is not None and label_column in reader.fieldnames
+        )
+        services: List[float] = []
+        labels: List[str] = []
+        for line_number, row in enumerate(reader, start=2):
+            try:
+                value = float(row[service_column])
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"line {line_number}: bad service time {row[service_column]!r}"
+                ) from None
+            if value < 0:
+                raise ValueError(f"line {line_number}: negative service time")
+            services.append(value)
+            if has_labels:
+                labels.append(row[label_column])
+        if not services:
+            raise ValueError("trace is empty")
+        return services, (labels if has_labels else None)
+    finally:
+        if close:
+            handle.close()
+
+
+class TraceWorkload(RpcWorkload):
+    """Replays a fixed sequence of measured service times.
+
+    ``mode``:
+
+    * ``"sequential"`` — preserve the trace's order (autocorrelation
+      and phase behaviour survive); wraps around when exhausted;
+    * ``"shuffle"`` — i.i.d. resampling with replacement (matches the
+      paper's distribution-replay methodology).
+    """
+
+    name = "trace"
+
+    def __init__(
+        self,
+        services: Sequence[float],
+        labels: Optional[Sequence[str]] = None,
+        mode: str = "sequential",
+        slo_label: Optional[str] = None,
+    ) -> None:
+        values = np.asarray(list(services), dtype=float)
+        if values.size == 0:
+            raise ValueError("trace must contain at least one request")
+        if np.any(values < 0):
+            raise ValueError("service times must be non-negative")
+        if labels is not None and len(labels) != values.size:
+            raise ValueError(
+                f"labels ({len(labels)}) and services ({values.size}) differ"
+            )
+        if mode not in ("sequential", "shuffle"):
+            raise ValueError(f"mode must be 'sequential' or 'shuffle', got {mode!r}")
+        self._services = values
+        self._labels = list(labels) if labels is not None else None
+        self.mode = mode
+        self._cursor = 0
+        self.wraps = 0
+        if slo_label is not None:
+            self.slo_label = slo_label
+        elif self._labels:
+            # Default SLO class: the most common label (short requests
+            # dominate real traces, matching Fig. 7b's convention).
+            counts = {}
+            for item in self._labels:
+                counts[item] = counts.get(item, 0) + 1
+            self.slo_label = max(counts, key=counts.get)
+        else:
+            self.slo_label = "rpc"
+
+    @classmethod
+    def from_csv(cls, source, mode: str = "sequential") -> "TraceWorkload":
+        """Build directly from a CSV trace (see :func:`load_service_trace`)."""
+        services, labels = load_service_trace(source)
+        return cls(services, labels, mode=mode)
+
+    def __len__(self) -> int:
+        return int(self._services.size)
+
+    def sample(self, rng: np.random.Generator):
+        if self.mode == "shuffle":
+            index = int(rng.integers(0, self._services.size))
+        else:
+            index = self._cursor
+            self._cursor += 1
+            if self._cursor >= self._services.size:
+                self._cursor = 0
+                self.wraps += 1
+        label = self._labels[index] if self._labels else "rpc"
+        return float(self._services[index]), label
+
+    @property
+    def mean_processing_ns(self) -> float:
+        return float(self._services.mean())
+
+    @property
+    def slo_mean_processing_ns(self) -> float:
+        if not self._labels:
+            return self.mean_processing_ns
+        mask = np.array([label == self.slo_label for label in self._labels])
+        return float(self._services[mask].mean())

@@ -1,0 +1,96 @@
+"""Silo/TPC-C-like transaction workload (§3.1's second motivating tier).
+
+§3.1: "Even software with functionality richer than simple data
+retrieval can exhibit µs-scale service times: the average TPC-C query
+service time on the Silo in-memory database is only 33µs."
+
+This workload models TPC-C's five transaction types with the standard
+mix (45% NewOrder, 43% Payment, 4% each OrderStatus / Delivery /
+StockLevel) and per-type processing-time scales chosen so the overall
+mean lands at the cited 33µs. Each type is Gamma-distributed (database
+transactions have moderate per-type variability); labels expose the
+type so experiments can set per-transaction SLOs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..dists import Gamma
+from .base import RpcWorkload
+
+__all__ = ["SiloTpccWorkload", "TPCC_MIX"]
+
+#: The standard TPC-C transaction mix (fractions sum to 1).
+TPCC_MIX: Dict[str, float] = {
+    "new_order": 0.45,
+    "payment": 0.43,
+    "order_status": 0.04,
+    "delivery": 0.04,
+    "stock_level": 0.04,
+}
+
+#: Relative per-type costs: NewOrder and Delivery touch many rows;
+#: Payment is light; StockLevel scans district stock.
+_RELATIVE_COST = {
+    "new_order": 1.4,
+    "payment": 0.45,
+    "order_status": 0.5,
+    "delivery": 2.6,
+    "stock_level": 2.0,
+}
+
+#: §3.1's cited mean query service time on Silo.
+SILO_MEAN_NS = 33_000.0
+
+
+class SiloTpccWorkload(RpcWorkload):
+    """TPC-C transactions on a Silo-like in-memory database."""
+
+    name = "silo-tpcc"
+    #: NewOrder is the throughput-defining, SLO-relevant transaction.
+    slo_label = "new_order"
+    request_size_bytes = 256
+    reply_size_bytes = 512
+
+    def __init__(self, mean_ns: float = SILO_MEAN_NS, cv2: float = 0.5) -> None:
+        if mean_ns <= 0:
+            raise ValueError(f"mean_ns must be positive, got {mean_ns!r}")
+        if cv2 <= 0:
+            raise ValueError(f"cv2 must be positive, got {cv2!r}")
+        self.mean_ns = mean_ns
+        # Normalize relative costs so the mix-weighted mean is mean_ns.
+        weighted = sum(
+            TPCC_MIX[txn] * _RELATIVE_COST[txn] for txn in TPCC_MIX
+        )
+        scale = mean_ns / weighted
+        self._types = list(TPCC_MIX)
+        self._weights = np.array([TPCC_MIX[txn] for txn in self._types])
+        self._dists: Dict[str, Gamma] = {
+            txn: Gamma.from_mean_cv2(_RELATIVE_COST[txn] * scale, cv2)
+            for txn in self._types
+        }
+
+    def sample(self, rng: np.random.Generator) -> Tuple[float, str]:
+        index = int(rng.choice(len(self._types), p=self._weights))
+        txn = self._types[index]
+        return self._dists[txn].sample(rng), txn
+
+    @property
+    def mean_processing_ns(self) -> float:
+        return self.mean_ns
+
+    @property
+    def slo_mean_processing_ns(self) -> float:
+        return self._dists["new_order"].mean
+
+    def type_mean_ns(self, txn: str) -> float:
+        """Mean processing time of one transaction type."""
+        try:
+            return self._dists[txn].mean
+        except KeyError:
+            raise ValueError(
+                f"unknown transaction {txn!r}; expected one of {sorted(TPCC_MIX)}"
+            ) from None

@@ -1,0 +1,23 @@
+"""Synthetic microbenchmark workloads (§5, Fig. 6a / Fig. 7c / Fig. 8)."""
+
+from __future__ import annotations
+
+from ..dists import SYNTHETIC_KINDS, synthetic
+from .base import DistributionWorkload
+
+__all__ = ["SyntheticWorkload"]
+
+
+class SyntheticWorkload(DistributionWorkload):
+    """300ns base + 300ns-mean extra, per the paper's four shapes.
+
+    ``kind`` ∈ {"fixed", "uniform", "exponential", "gev"}.
+    """
+
+    def __init__(self, kind: str) -> None:
+        if kind not in SYNTHETIC_KINDS:
+            raise ValueError(
+                f"unknown kind {kind!r}; expected one of {SYNTHETIC_KINDS}"
+            )
+        super().__init__(synthetic(kind), name=f"synthetic-{kind}")
+        self.kind = kind

@@ -1,0 +1,11 @@
+"""Shared test helpers."""
+
+import numpy as np
+
+# numpy >= 2 renamed trapz to trapezoid.
+trapezoid = getattr(np, "trapezoid", None) or np.trapz
+
+
+def integrate(ys, xs):
+    """Trapezoidal integral, compatible across numpy versions."""
+    return float(trapezoid(ys, xs))

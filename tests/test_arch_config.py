@@ -1,0 +1,89 @@
+"""ChipConfig: Table 1 parameters and validation."""
+
+import pytest
+
+from repro.arch import ChipConfig, DEFAULT_CONFIG, cycles_to_ns
+
+
+class TestTable1Defaults:
+    """The defaults must encode the paper's Table 1 / §5 platform."""
+
+    def test_core_count_and_mesh(self):
+        assert DEFAULT_CONFIG.num_cores == 16
+        assert DEFAULT_CONFIG.mesh_rows == 4
+        assert DEFAULT_CONFIG.mesh_cols == 4
+
+    def test_clock_2ghz(self):
+        assert DEFAULT_CONFIG.clock_ghz == 2.0
+
+    def test_mesh_3_cycles_per_hop(self):
+        assert DEFAULT_CONFIG.mesh_hop_cycles == 3
+        assert DEFAULT_CONFIG.mesh_hop_ns == pytest.approx(1.5)
+
+    def test_64_byte_blocks(self):
+        assert DEFAULT_CONFIG.cache_block_bytes == 64
+
+    def test_memory_50ns(self):
+        assert DEFAULT_CONFIG.memory_latency_ns == 50.0
+
+    def test_cache_latencies(self):
+        # L1: 3 cycles; LLC: 6 cycles (Table 1).
+        assert DEFAULT_CONFIG.l1_latency_ns == pytest.approx(1.5)
+        assert DEFAULT_CONFIG.llc_latency_ns == pytest.approx(3.0)
+
+    def test_cluster_of_200_nodes(self):
+        assert DEFAULT_CONFIG.num_nodes == 200
+        assert DEFAULT_CONFIG.num_remote_nodes == 199
+
+
+class TestHelpers:
+    def test_cycles_to_ns(self):
+        assert cycles_to_ns(6, 2.0) == 3.0
+        assert cycles_to_ns(600, 2.0) == 300.0
+
+    def test_cycles_to_ns_invalid_clock(self):
+        with pytest.raises(ValueError):
+            cycles_to_ns(1, 0.0)
+
+    def test_packets_for(self):
+        assert DEFAULT_CONFIG.packets_for(1) == 1
+        assert DEFAULT_CONFIG.packets_for(64) == 1
+        assert DEFAULT_CONFIG.packets_for(65) == 2
+        assert DEFAULT_CONFIG.packets_for(512) == 8
+
+    def test_packets_for_invalid(self):
+        with pytest.raises(ValueError):
+            DEFAULT_CONFIG.packets_for(0)
+
+    def test_with_updates(self):
+        updated = DEFAULT_CONFIG.with_updates(num_backends=8)
+        assert updated.num_backends == 8
+        assert DEFAULT_CONFIG.num_backends == 4  # original untouched
+
+
+class TestValidation:
+    def test_core_count_must_match_mesh(self):
+        with pytest.raises(ValueError, match="num_cores"):
+            ChipConfig(num_cores=15)
+
+    def test_backends_bounded(self):
+        with pytest.raises(ValueError):
+            ChipConfig(num_backends=0)
+        with pytest.raises(ValueError):
+            ChipConfig(num_backends=17)
+
+    def test_min_nodes(self):
+        with pytest.raises(ValueError):
+            ChipConfig(num_nodes=1)
+
+    def test_positive_slots(self):
+        with pytest.raises(ValueError):
+            ChipConfig(send_slots_per_node=0)
+
+    def test_max_msg_holds_a_block(self):
+        with pytest.raises(ValueError):
+            ChipConfig(max_msg_bytes=32)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError, match="dispatch_ns"):
+            ChipConfig(dispatch_ns=-1.0)

@@ -1,0 +1,74 @@
+"""Mesh hop-latency model."""
+
+import pytest
+
+from repro.arch import ChipConfig, Mesh
+
+
+@pytest.fixture
+def mesh():
+    return Mesh(ChipConfig())
+
+
+class TestPositions:
+    def test_core_positions_row_major(self, mesh):
+        assert mesh.core_position(0) == (0, 0)
+        assert mesh.core_position(3) == (0, 3)
+        assert mesh.core_position(4) == (1, 0)
+        assert mesh.core_position(15) == (3, 3)
+
+    def test_backend_positions_one_per_row(self, mesh):
+        for backend_id in range(4):
+            assert mesh.backend_position(backend_id) == (backend_id, -1)
+
+    def test_out_of_range(self, mesh):
+        with pytest.raises(ValueError):
+            mesh.core_position(16)
+        with pytest.raises(ValueError):
+            mesh.backend_position(4)
+
+
+class TestLatency:
+    def test_same_row_distance(self, mesh):
+        # Backend 0 at (0,-1) → core 0 at (0,0): one hop = 1.5ns.
+        assert mesh.backend_to_core_ns(0, 0) == pytest.approx(1.5)
+
+    def test_far_corner(self, mesh):
+        # Backend 0 at (0,-1) → core 15 at (3,3): 3 + 4 = 7 hops.
+        assert mesh.backend_to_core_ns(0, 15) == pytest.approx(7 * 1.5)
+
+    def test_symmetry(self, mesh):
+        for backend_id in range(4):
+            for core_id in range(16):
+                assert mesh.backend_to_core_ns(
+                    backend_id, core_id
+                ) == mesh.core_to_backend_ns(core_id, backend_id)
+
+    def test_backend_to_backend(self, mesh):
+        assert mesh.backend_to_backend_ns(0, 0) == 0.0
+        assert mesh.backend_to_backend_ns(0, 3) == pytest.approx(3 * 1.5)
+        assert mesh.backend_to_backend_ns(3, 0) == pytest.approx(3 * 1.5)
+
+    def test_indirection_is_a_few_ns(self, mesh):
+        # §4.3: forwarding to the dispatcher adds "just a few ns".
+        worst = max(
+            mesh.backend_to_backend_ns(src, 0) for src in range(4)
+        )
+        assert worst <= 5.0
+
+    def test_mean_backend_to_core(self, mesh):
+        mean0 = mesh.mean_backend_to_core_ns(0)
+        # Average over 16 cores of (row gap + col+1) hops.
+        expected_hops = sum(
+            abs(core // 4 - 0) + (core % 4 + 1) for core in range(16)
+        ) / 16
+        assert mean0 == pytest.approx(expected_hops * 1.5)
+
+
+class TestScaling:
+    def test_hop_latency_scales_with_cycles(self):
+        slow = Mesh(ChipConfig(mesh_hop_cycles=12))
+        fast = Mesh(ChipConfig(mesh_hop_cycles=3))
+        assert slow.backend_to_core_ns(0, 15) == pytest.approx(
+            4 * fast.backend_to_core_ns(0, 15)
+        )

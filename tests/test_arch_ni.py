@@ -1,0 +1,147 @@
+"""NI components in isolation: QPs, frontends, backends."""
+
+import pytest
+
+from repro.arch import (
+    Chip,
+    ChipConfig,
+    CompletionQueueEntry,
+    QueuePair,
+    WorkQueueEntry,
+    make_send,
+)
+from repro.balancing import SingleQueue
+from repro.sim import Environment, RngRegistry
+from repro.workloads import MicrobenchCosts, MicrobenchProgram
+
+
+def build_chip(config=None):
+    env = Environment()
+    chip = Chip(
+        env,
+        config or ChipConfig(),
+        MicrobenchProgram(MicrobenchCosts.lean()),
+        RngRegistry(0),
+    )
+    SingleQueue().install(chip, RngRegistry(0).stream("dispatch"))
+    return chip
+
+
+class TestQueuePair:
+    def test_wqe_kinds(self):
+        assert WorkQueueEntry("send").op == "send"
+        assert WorkQueueEntry("replenish").op == "replenish"
+        with pytest.raises(ValueError):
+            WorkQueueEntry("teleport")
+
+    def test_cqe_payload(self):
+        cqe = CompletionQueueEntry("message", payload=123)
+        assert cqe.kind == "message"
+        assert cqe.payload == 123
+
+    def test_cq_depth_high_water(self):
+        env = Environment()
+        qp = QueuePair(env, core_id=0)
+        for index in range(3):
+            qp.post_cqe(index)
+        env.run()
+        assert qp.max_cq_depth == 3
+        assert len(qp.cq) == 3
+
+    def test_wq_post(self):
+        env = Environment()
+        qp = QueuePair(env, core_id=0)
+        qp.post_wqe(WorkQueueEntry("send", payload="x"))
+        env.run()
+        assert len(qp.wq) == 1
+
+
+class TestNIFrontend:
+    def test_deliver_counts_cqes(self):
+        chip = build_chip()
+        msg = make_send(chip.config, 0, 0, 0, 128, 100.0)
+        chip.submit_message(msg)
+        chip.env.run()
+        total_cqes = sum(fe.cqes_written for fe in chip.frontends)
+        assert total_cqes == 1
+        assert chip.frontends[msg.core_id].cqes_written == 1
+
+
+class TestNIBackend:
+    def test_pipeline_occupancy_serializes(self):
+        # Two back-to-back 8-packet messages on the same backend must
+        # be reassembled strictly one after the other.
+        config = ChipConfig(num_backends=1)
+        chip = build_chip(config)
+        first = make_send(chip.config, 0, 0, 0, 512, 100.0)
+        second = make_send(chip.config, 1, 0, 1, 512, 100.0)
+        chip.submit_message(first)
+        chip.submit_message(second)
+        chip.env.run()
+        occupancy = config.backend_fixed_ns + 8 * config.backend_per_packet_ns
+        assert first.t_reassembled == pytest.approx(occupancy)
+        assert second.t_reassembled == pytest.approx(2 * occupancy)
+
+    def test_busy_time_accounted(self):
+        config = ChipConfig(num_backends=1, model_reply_egress=False)
+        chip = build_chip(config)
+        msg = make_send(chip.config, 0, 0, 0, 128, 100.0)
+        chip.submit_message(msg)
+        chip.env.run()
+        backend = chip.backends[0]
+        assert backend.messages_reassembled == 1
+        assert backend.busy_ns == pytest.approx(
+            config.backend_fixed_ns + 2 * config.backend_per_packet_ns
+        )
+
+    def test_reply_egress_hits_backend(self):
+        chip = build_chip(ChipConfig(model_reply_egress=True))
+        msg = make_send(chip.config, 0, 0, 0, 128, 100.0)
+        chip.submit_message(msg)
+        chip.env.run()
+        assert sum(b.replies_sent for b in chip.backends) == 1
+
+    def test_reply_egress_disabled(self):
+        chip = build_chip(ChipConfig(model_reply_egress=False))
+        msg = make_send(chip.config, 0, 0, 0, 128, 100.0)
+        chip.submit_message(msg)
+        chip.env.run()
+        assert sum(b.replies_sent for b in chip.backends) == 0
+
+    def test_messages_spread_across_backends(self):
+        chip = build_chip()
+        for msg_id in range(64):
+            msg = make_send(
+                chip.config, msg_id, msg_id % 199, 0, 128, 50.0
+            )
+            chip.submit_message(msg)
+        chip.env.run()
+        handled = [b.messages_reassembled for b in chip.backends]
+        assert sum(handled) == 64
+        assert all(count > 0 for count in handled)
+
+
+class TestProtocolValidation:
+    def test_make_send_validates_ranges(self):
+        config = ChipConfig()
+        with pytest.raises(ValueError):
+            make_send(config, 0, 199, 0, 128, 1.0)  # src out of range
+        with pytest.raises(ValueError):
+            make_send(config, 0, 0, 32, 128, 1.0)  # slot out of range
+
+    def test_send_message_validates(self):
+        from repro.arch import SendMessage
+
+        with pytest.raises(ValueError):
+            SendMessage(0, 0, 0, 128, 2, service_ns=-1.0)
+        with pytest.raises(ValueError):
+            SendMessage(0, 0, 0, 128, 0, service_ns=1.0)
+
+    def test_latency_before_completion_raises(self):
+        from repro.arch import SendMessage
+
+        msg = SendMessage(0, 0, 0, 128, 2, 100.0)
+        with pytest.raises(RuntimeError):
+            _ = msg.latency_ns
+        with pytest.raises(RuntimeError):
+            _ = msg.queueing_ns

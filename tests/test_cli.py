@@ -1,0 +1,153 @@
+"""The experiments command-line interface."""
+
+import pathlib
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, collect_sweeps, main
+from repro.metrics import LatencySummary, SweepPoint, SweepResult
+
+
+def make_sweep(label="s"):
+    summary = LatencySummary(1, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+    return SweepResult(label, [SweepPoint(1.0, 1.0, summary)])
+
+
+class TestCollectSweeps:
+    def test_finds_nested_sweeps(self):
+        data = {
+            "sweeps": {"a": make_sweep("a"), "b": make_sweep("b")},
+            "nested": {"deep": {"c": make_sweep("c")}},
+            "scalar": 1.0,
+        }
+        labels = sorted(sweep.label for sweep in collect_sweeps(data))
+        assert labels == ["a", "b", "c"]
+
+    def test_empty(self):
+        assert collect_sweeps({"x": 1}) == []
+
+
+class TestMain:
+    def test_runs_fig6(self, capsys):
+        assert main(["fig6", "--profile", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out
+        assert "herd" in out
+
+    def test_chart_flag(self, capsys):
+        assert main(["fig2a", "--profile", "smoke", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "p99 vs achieved throughput" in out
+        assert "log scale" in out
+
+    def test_csv_flag(self, tmp_path, capsys):
+        assert main(
+            ["fig2a", "--profile", "smoke", "--csv", str(tmp_path)]
+        ) == 0
+        csv_path = tmp_path / "fig2a.csv"
+        assert csv_path.exists()
+        header = csv_path.read_text().splitlines()[0]
+        assert header.startswith("label,offered_load")
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_seed_flag_changes_results(self, capsys):
+        main(["fig2a", "--profile", "smoke", "--seed", "1"])
+        first = capsys.readouterr().out
+        main(["fig2a", "--profile", "smoke", "--seed", "2"])
+        second = capsys.readouterr().out
+        # Same structure, different sampled values.
+        assert first.splitlines()[0] == second.splitlines()[0]
+        assert first != second
+
+    def test_registry_complete(self):
+        for required in (
+            "fig2a", "fig2b", "fig2c", "fig6", "fig7a", "fig7b", "fig7c",
+            "fig8", "fig9", "headline",
+        ):
+            assert required in EXPERIMENTS
+
+
+class TestPersistence:
+    def _result(self):
+        from repro.experiments import run_fig2a
+
+        return run_fig2a(profile="smoke", seed=0)
+
+    def test_save_and_load_roundtrip(self, tmp_path):
+        from repro.experiments import load_snapshot, result_to_dict, save_result
+
+        result = self._result()
+        path = save_result(result, tmp_path)
+        snapshot = load_snapshot(path)
+        assert snapshot == result_to_dict(result)
+        assert snapshot["experiment_id"] == "fig2a"
+        assert len(snapshot["sweeps"]) == 5  # five QxU configs
+
+    def test_compare_identical_is_clean(self, tmp_path):
+        from repro.experiments import compare_snapshots, result_to_dict
+
+        snapshot = result_to_dict(self._result())
+        assert compare_snapshots(snapshot, snapshot) == []
+
+    def test_compare_detects_regression(self):
+        from repro.experiments import compare_snapshots, result_to_dict
+
+        baseline = result_to_dict(self._result())
+        import copy
+
+        candidate = copy.deepcopy(baseline)
+        candidate["sweeps"][0]["points"][0]["p99"] *= 2.0
+        report = compare_snapshots(baseline, candidate)
+        assert len(report) == 1
+        assert "+100.0%" in report[0]
+
+    def test_compare_mismatched_experiments_rejected(self):
+        from repro.experiments import compare_snapshots, result_to_dict
+
+        baseline = result_to_dict(self._result())
+        import copy
+
+        other = copy.deepcopy(baseline)
+        other["experiment_id"] = "fig2b"
+        with pytest.raises(ValueError, match="different experiments"):
+            compare_snapshots(baseline, other)
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        import json
+
+        from repro.experiments import load_snapshot
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema_version": 99}))
+        with pytest.raises(ValueError, match="schema"):
+            load_snapshot(path)
+
+    def test_cli_save_flag(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        assert main(
+            ["fig2a", "--profile", "smoke", "--save", str(tmp_path)]
+        ) == 0
+        assert (tmp_path / "fig2a.json").exists()
+
+
+class TestSensitivityDriver:
+    def test_core_costs_dominate(self):
+        from repro.experiments import run_sensitivity
+
+        result = run_sensitivity(profile="smoke", seed=0)
+        entries = result.data["entries"]
+        # Ranked by swing: the top constant must be a core-side cost
+        # (it moves S̄); pure NI latencies are second-order.
+        assert entries[0]["param"] in ("send_issue_ns", "poll_detect_ns")
+        ni_constants = {
+            "dispatch_ns", "cqe_write_ns", "backend_fixed_ns",
+            "backend_per_packet_ns", "mesh_hop_cycles",
+        }
+        baseline = result.data["baseline_p99"]
+        for entry in entries:
+            if entry["param"] in ni_constants:
+                assert entry["swing_ns"] / baseline < 0.25, entry["param"]

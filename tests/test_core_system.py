@@ -1,0 +1,154 @@
+"""RpcValetSystem: the public API's behaviour and invariants."""
+
+import pytest
+
+from repro import (
+    MicrobenchCosts,
+    Partitioned,
+    RpcValetSystem,
+    SingleQueue,
+    SoftwareSingleQueue,
+    SyntheticWorkload,
+    make_scheme,
+    make_system,
+    make_workload,
+)
+
+
+class TestPresets:
+    def test_make_scheme_labels(self):
+        assert make_scheme("1x16").num_groups == 1
+        assert make_scheme("4x4").num_groups == 4
+        assert make_scheme("2x8").num_groups == 2
+        assert make_scheme("8x2").num_groups == 8
+        assert isinstance(make_scheme("sw-1x16"), SoftwareSingleQueue)
+        assert isinstance(make_scheme("16x1"), Partitioned)
+        with pytest.raises(ValueError):
+            make_scheme("3x5")
+
+    def test_make_workload(self):
+        assert make_workload("herd").name == "herd"
+        assert make_workload("masstree").name == "masstree"
+        assert make_workload("synthetic-gev").kind == "gev"
+        with pytest.raises(ValueError):
+            make_workload("sqlite")
+
+    def test_make_system_cost_defaults(self):
+        synthetic = make_system("1x16", "synthetic-fixed")
+        assert synthetic.costs.total_ns == pytest.approx(600.0)
+        herd = make_system("1x16", "herd")
+        assert herd.costs.total_ns == pytest.approx(220.0)
+
+
+class TestRunPoint:
+    def test_all_submitted_complete(self):
+        system = make_system("1x16", "herd", seed=1)
+        result = system.run_point(offered_mrps=10.0, num_requests=3_000)
+        assert result.completed == 3_000
+
+    def test_measured_service_time_matches_expectation(self):
+        system = make_system("1x16", "herd", seed=1)
+        result = system.run_point(offered_mrps=5.0, num_requests=3_000)
+        # S̄ ≈ 330ns processing + 220ns overhead ≈ 550ns (paper's value).
+        assert result.mean_service_ns == pytest.approx(
+            system.expected_service_ns, rel=0.05
+        )
+        assert result.mean_service_ns == pytest.approx(550.0, rel=0.05)
+
+    def test_achieved_tracks_offered_below_saturation(self):
+        system = make_system("1x16", "herd", seed=1)
+        result = system.run_point(offered_mrps=10.0, num_requests=10_000)
+        assert result.point.achieved_throughput == pytest.approx(10.0, rel=0.1)
+
+    def test_software_overhead_increases_service_time(self):
+        hardware = make_system("1x16", "synthetic-fixed", seed=1)
+        software = make_system("sw-1x16", "synthetic-fixed", seed=1)
+        hw_service = hardware.run_point(2.0, 2_000).mean_service_ns
+        sw_service = software.run_point(2.0, 2_000).mean_service_ns
+        # The MCS critical section adds ~50ns of core time per request.
+        assert sw_service - hw_service == pytest.approx(50.0, abs=5.0)
+
+    def test_latency_grows_with_load(self):
+        system = make_system("1x16", "synthetic-exponential", seed=2)
+        low = system.run_point(3.0, 4_000)
+        high = system.run_point(12.5, 4_000)
+        assert high.p99 > low.p99
+
+    def test_reproducibility(self):
+        first = make_system("4x4", "herd", seed=5).run_point(10.0, 3_000)
+        second = make_system("4x4", "herd", seed=5).run_point(10.0, 3_000)
+        assert first.p99 == second.p99
+        assert first.point.achieved_throughput == second.point.achieved_throughput
+
+    def test_different_seeds_differ(self):
+        first = make_system("4x4", "herd", seed=5).run_point(10.0, 3_000)
+        second = make_system("4x4", "herd", seed=6).run_point(10.0, 3_000)
+        assert first.p99 != second.p99
+
+    def test_invalid_args(self):
+        system = make_system("1x16", "herd")
+        with pytest.raises(ValueError):
+            system.run_point(0.0)
+        with pytest.raises(ValueError):
+            system.run_point(1.0, num_requests=0)
+
+    def test_masstree_slo_class_is_gets(self):
+        system = make_system("1x16", "masstree", seed=3)
+        result = system.run_point(offered_mrps=2.0, num_requests=4_000)
+        # Summary covers gets only: its mean must be far below a scan.
+        assert result.point.summary.mean < 30_000.0
+        assert result.completed == 4_000
+
+
+class TestSweep:
+    def test_sweep_shape(self):
+        system = make_system("1x16", "herd", seed=1)
+        sweep = system.sweep([5.0, 15.0], num_requests=2_000)
+        assert len(sweep) == 2
+        assert sweep.label == "1xN"
+        assert sweep.points[0].offered_load == 5.0
+
+
+class TestPaperOrderings:
+    """The paper's qualitative results at moderate scale."""
+
+    LOAD = 25.0  # MRPS, ~86% of HERD capacity
+    N = 10_000
+
+    def p99(self, scheme):
+        return make_system(scheme, "herd", seed=4).run_point(self.LOAD, self.N).p99
+
+    def test_1x16_beats_4x4_beats_16x1(self):
+        single = self.p99("1x16")
+        grouped = self.p99("4x4")
+        partitioned = self.p99("16x1")
+        assert single < grouped < partitioned
+
+    def test_single_queue_emulation_vs_intermediate(self):
+        # 2x8 and 8x2 sit between 1x16 and 16x1.
+        single = self.p99("1x16")
+        two = self.p99("2x8")
+        eight = self.p99("8x2")
+        partitioned = self.p99("16x1")
+        assert single <= two <= eight * 1.1  # allow small noise
+        assert eight < partitioned
+
+    def test_outstanding_limit_one_vs_two(self):
+        system_one = RpcValetSystem(
+            SingleQueue(outstanding_limit=1),
+            SyntheticWorkload("fixed"),
+            costs=MicrobenchCosts.paper_synthetic(),
+            seed=4,
+        )
+        system_two = RpcValetSystem(
+            SingleQueue(outstanding_limit=2),
+            SyntheticWorkload("fixed"),
+            costs=MicrobenchCosts.paper_synthetic(),
+            seed=4,
+        )
+        # Both near saturation; threshold 2 must not be dramatically
+        # worse (paper: differences are marginal).
+        one = system_one.run_point(12.5, self.N)
+        two = system_two.run_point(12.5, self.N)
+        assert two.p99 < 3 * one.p99
+        assert one.p99 < 3 * two.p99

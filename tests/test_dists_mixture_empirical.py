@@ -1,0 +1,128 @@
+"""Mixture, Empirical, and HistogramDistribution."""
+
+import numpy as np
+import pytest
+
+from repro.dists import (
+    Empirical,
+    Exponential,
+    Fixed,
+    HistogramDistribution,
+    Mixture,
+    Uniform,
+)
+
+RNG = lambda: np.random.default_rng(5)  # noqa: E731
+
+
+class TestMixture:
+    def make(self):
+        return Mixture([(0.99, Fixed(1000.0)), (0.01, Uniform(60_000.0, 120_000.0))])
+
+    def test_mean_is_weighted(self):
+        mix = self.make()
+        assert mix.mean == pytest.approx(0.99 * 1000.0 + 0.01 * 90_000.0)
+
+    def test_variance_law_of_total_variance(self):
+        mix = Mixture([(0.5, Fixed(0.0)), (0.5, Fixed(10.0))])
+        assert mix.mean == pytest.approx(5.0)
+        assert mix.variance == pytest.approx(25.0)
+
+    def test_weights_normalized(self):
+        mix = Mixture([(2.0, Fixed(1.0)), (2.0, Fixed(3.0))])
+        np.testing.assert_allclose(mix.weights, [0.5, 0.5])
+
+    def test_sample_with_component(self):
+        mix = self.make()
+        counts = [0, 0]
+        rng = RNG()
+        for _ in range(10_000):
+            value, component = mix.sample_with_component(rng)
+            counts[component] += 1
+            if component == 0:
+                assert value == 1000.0
+            else:
+                assert 60_000.0 <= value <= 120_000.0
+        assert counts[1] / sum(counts) == pytest.approx(0.01, abs=0.005)
+
+    def test_sample_array_with_components(self):
+        mix = self.make()
+        values, components = mix.sample_array_with_components(RNG(), 50_000)
+        assert values.shape == components.shape == (50_000,)
+        scans = values[components == 1]
+        assert scans.min() >= 60_000.0
+        assert values.mean() == pytest.approx(mix.mean, rel=0.05)
+
+    def test_pdf_is_weighted_sum(self):
+        mix = Mixture([(0.5, Exponential(1.0)), (0.5, Exponential(2.0))])
+        xs = np.linspace(0, 10, 101)
+        expected = 0.5 * Exponential(1.0).pdf(xs) + 0.5 * Exponential(2.0).pdf(xs)
+        np.testing.assert_allclose(mix.pdf(xs), expected)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Mixture([])
+        with pytest.raises(ValueError):
+            Mixture([(0.0, Fixed(1.0))])
+
+
+class TestEmpirical:
+    def test_resamples_only_observed_values(self):
+        dist = Empirical([1.0, 2.0, 3.0])
+        samples = dist.sample_array(RNG(), 1000)
+        assert set(np.unique(samples)) <= {1.0, 2.0, 3.0}
+
+    def test_moments_match_data(self):
+        data = [10.0, 20.0, 30.0, 40.0]
+        dist = Empirical(data)
+        assert dist.mean == pytest.approx(np.mean(data))
+        assert dist.variance == pytest.approx(np.var(data))
+
+    def test_percentile(self):
+        dist = Empirical(list(range(101)))
+        assert dist.percentile(99) == pytest.approx(99.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Empirical([])
+        with pytest.raises(ValueError):
+            Empirical([-1.0])
+
+
+class TestHistogram:
+    def make(self):
+        return HistogramDistribution(
+            counts=[10, 30, 10], bin_edges=[0.0, 100.0, 200.0, 300.0]
+        )
+
+    def test_samples_within_edges(self):
+        samples = self.make().sample_array(RNG(), 10_000)
+        assert samples.min() >= 0.0
+        assert samples.max() <= 300.0
+
+    def test_mean(self):
+        dist = self.make()
+        expected = (10 * 50 + 30 * 150 + 10 * 250) / 50
+        assert dist.mean == pytest.approx(expected)
+        samples = dist.sample_array(RNG(), 100_000)
+        assert samples.mean() == pytest.approx(expected, rel=0.02)
+
+    def test_variance_matches_samples(self):
+        dist = self.make()
+        samples = dist.sample_array(RNG(), 200_000)
+        assert samples.var() == pytest.approx(dist.variance, rel=0.03)
+
+    def test_pdf_density(self):
+        dist = self.make()
+        # Middle bin holds 60% of mass over width 100.
+        assert dist.pdf(np.array([150.0]))[0] == pytest.approx(0.006)
+        assert dist.pdf(np.array([-10.0]))[0] == 0.0
+        assert dist.pdf(np.array([400.0]))[0] == 0.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            HistogramDistribution([1], [0.0])
+        with pytest.raises(ValueError):
+            HistogramDistribution([1, 2], [0.0, 1.0, 0.5])
+        with pytest.raises(ValueError):
+            HistogramDistribution([0, 0], [0.0, 1.0, 2.0])

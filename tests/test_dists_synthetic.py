@@ -1,0 +1,158 @@
+"""Fixed / Uniform / Exponential / GEV: moments, sampling, densities."""
+
+import math
+
+import numpy as np
+import pytest
+
+from .conftest import integrate
+from repro.dists import Exponential, Fixed, GEV, Scaled, Shifted, Uniform
+
+RNG = lambda: np.random.default_rng(1234)  # noqa: E731
+N = 200_000
+
+
+class TestFixed:
+    def test_moments(self):
+        dist = Fixed(600.0)
+        assert dist.mean == 600.0
+        assert dist.variance == 0.0
+        assert dist.cv2 == 0.0
+
+    def test_samples_constant(self):
+        samples = Fixed(7.0).sample_array(RNG(), 100)
+        assert np.all(samples == 7.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Fixed(-1.0)
+
+
+class TestUniform:
+    def test_moments(self):
+        dist = Uniform(0.0, 600.0)
+        assert dist.mean == 300.0
+        assert dist.variance == pytest.approx(600.0**2 / 12.0)
+
+    def test_sample_stats(self):
+        dist = Uniform(100.0, 500.0)
+        samples = dist.sample_array(RNG(), N)
+        assert samples.min() >= 100.0
+        assert samples.max() <= 500.0
+        assert samples.mean() == pytest.approx(dist.mean, rel=0.01)
+
+    def test_pdf_integrates_to_one(self):
+        dist = Uniform(0.0, 10.0)
+        xs = np.linspace(-5, 15, 4001)
+        assert integrate(dist.pdf(xs), xs) == pytest.approx(1.0, rel=1e-3)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            Uniform(5.0, 1.0)
+        with pytest.raises(ValueError):
+            Uniform(-1.0, 2.0)
+
+
+class TestExponential:
+    def test_moments(self):
+        dist = Exponential(300.0)
+        assert dist.mean == 300.0
+        assert dist.variance == 300.0**2
+        assert dist.cv2 == pytest.approx(1.0)
+
+    def test_sample_stats(self):
+        samples = Exponential(300.0).sample_array(RNG(), N)
+        assert samples.mean() == pytest.approx(300.0, rel=0.02)
+        assert samples.std() == pytest.approx(300.0, rel=0.02)
+
+    def test_pdf(self):
+        dist = Exponential(2.0)
+        assert dist.pdf(np.array([0.0]))[0] == pytest.approx(0.5)
+        assert dist.pdf(np.array([-1.0]))[0] == 0.0
+
+    def test_invalid_mean(self):
+        with pytest.raises(ValueError):
+            Exponential(0.0)
+
+
+class TestGEV:
+    """The paper's GEV(363, 100, 0.65) in cycles = (181.5, 50, 0.65) ns."""
+
+    def paper_dist(self):
+        return GEV(location=181.5, scale=50.0, shape=0.65)
+
+    def test_paper_mean_is_300ns(self):
+        # §5: "result in a mean of 600 cycles (i.e., 300ns at 2GHz)".
+        assert self.paper_dist().mean == pytest.approx(300.0, rel=0.01)
+
+    def test_variance_infinite_for_heavy_shape(self):
+        assert math.isinf(self.paper_dist().variance)
+
+    def test_variance_finite_for_light_shape(self):
+        dist = GEV(location=100.0, scale=10.0, shape=0.2)
+        assert math.isfinite(dist.variance)
+        assert dist.variance > 0
+
+    def test_sample_mean_converges(self):
+        # Heavy tail: generous tolerance, huge sample.
+        samples = self.paper_dist().sample_array(RNG(), 2_000_000)
+        assert samples.mean() == pytest.approx(300.0, rel=0.05)
+
+    def test_support_lower_bound(self):
+        dist = self.paper_dist()
+        samples = dist.sample_array(RNG(), N)
+        assert samples.min() >= dist.support_min
+        assert dist.support_min == pytest.approx(181.5 - 50.0 / 0.65)
+
+    def test_quantile_cdf_roundtrip(self):
+        dist = self.paper_dist()
+        for u in (0.01, 0.5, 0.9, 0.999):
+            x = dist._quantile(np.array([u]))
+            assert dist.cdf(x)[0] == pytest.approx(u, rel=1e-9)
+
+    def test_pdf_integrates_to_one(self):
+        dist = self.paper_dist()
+        xs = np.linspace(dist.support_min, 50_000.0, 400_000)
+        assert integrate(dist.pdf(xs), xs) == pytest.approx(1.0, abs=0.01)
+
+    def test_pdf_zero_outside_support(self):
+        dist = self.paper_dist()
+        assert dist.pdf(np.array([dist.support_min - 1.0]))[0] == 0.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            GEV(0.0, -1.0, 0.5)
+        with pytest.raises(ValueError):
+            GEV(0.0, 1.0, 0.0)
+
+
+class TestTransforms:
+    def test_shifted_moments_and_samples(self):
+        dist = Shifted(Exponential(300.0), 300.0)
+        assert dist.mean == 600.0
+        assert dist.variance == 300.0**2
+        samples = dist.sample_array(RNG(), N)
+        assert samples.min() >= 300.0
+        assert samples.mean() == pytest.approx(600.0, rel=0.02)
+
+    def test_shifted_pdf_is_translated(self):
+        inner = Exponential(1.0)
+        dist = Shifted(inner, 5.0)
+        xs = np.array([5.0, 6.0])
+        np.testing.assert_allclose(dist.pdf(xs), inner.pdf(xs - 5.0))
+
+    def test_scaled_moments(self):
+        dist = Scaled(Uniform(0.0, 2.0), 3.0)
+        assert dist.mean == pytest.approx(3.0)
+        assert dist.variance == pytest.approx(9.0 * 4.0 / 12.0)
+
+    def test_scaled_pdf_integrates_to_one(self):
+        dist = Scaled(Exponential(1.0), 10.0)
+        xs = np.linspace(0, 200, 20001)
+        assert integrate(dist.pdf(xs), xs) == pytest.approx(1.0, rel=1e-3)
+
+    def test_invalid_transform_params(self):
+        with pytest.raises(ValueError):
+            Shifted(Exponential(1.0), -1.0)
+        with pytest.raises(ValueError):
+            Scaled(Exponential(1.0), 0.0)

@@ -1,0 +1,100 @@
+"""Dynamic (pooled) slot provisioning — the §4.2 future-work extension."""
+
+import pytest
+
+from repro import MicrobenchCosts, RpcValetSystem, SingleQueue
+from repro.arch.buffers import DynamicSlotAllocator
+from repro.workloads import HerdWorkload, SyntheticWorkload
+
+
+class TestDynamicSlotAllocator:
+    def test_allocate_release_cycle(self):
+        pool = DynamicSlotAllocator(pool_size=2, max_msg_bytes=512)
+        first = pool.allocate()
+        second = pool.allocate()
+        assert {first, second} == {0, 1}
+        assert pool.allocate() is None
+        assert pool.failed_allocations == 1
+        pool.release(first)
+        assert pool.allocate() == first
+        assert pool.max_in_use == 2
+
+    def test_double_release_rejected(self):
+        pool = DynamicSlotAllocator(pool_size=2, max_msg_bytes=512)
+        index = pool.allocate()
+        pool.release(index)
+        with pytest.raises(RuntimeError, match="released twice"):
+            pool.release(index)
+
+    def test_release_out_of_range(self):
+        pool = DynamicSlotAllocator(pool_size=2, max_msg_bytes=512)
+        with pytest.raises(ValueError):
+            pool.release(5)
+
+    def test_footprint(self):
+        pool = DynamicSlotAllocator(pool_size=100, max_msg_bytes=2048)
+        assert pool.footprint_bytes == (2048 + 64) * 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DynamicSlotAllocator(0, 512)
+        with pytest.raises(ValueError):
+            DynamicSlotAllocator(10, 0)
+
+
+class TestDynamicMode:
+    def build(self, pool_size, workload=None):
+        return RpcValetSystem(
+            SingleQueue(),
+            workload or HerdWorkload(),
+            costs=MicrobenchCosts.lean(),
+            seed=3,
+            slot_policy="dynamic",
+            pool_size=pool_size,
+        )
+
+    def test_matches_static_with_ample_pool(self):
+        static = RpcValetSystem(
+            SingleQueue(), HerdWorkload(), costs=MicrobenchCosts.lean(), seed=3
+        ).run_point(20.0, 6_000)
+        dynamic = self.build(pool_size=512).run_point(20.0, 6_000)
+        assert dynamic.completed == static.completed == 6_000
+        assert dynamic.point.achieved_throughput == pytest.approx(
+            static.point.achieved_throughput, rel=0.02
+        )
+        assert dynamic.p99 == pytest.approx(static.p99, rel=0.1)
+
+    def test_no_stalls_with_ample_pool(self):
+        result = self.build(pool_size=512).run_point(20.0, 6_000)
+        assert result.stall_fraction == 0.0
+
+    def test_tiny_pool_stalls_but_conserves(self):
+        result = self.build(pool_size=8).run_point(25.0, 6_000)
+        assert result.stall_fraction > 0.0
+        assert result.completed == 6_000  # deferred, never dropped
+
+    def test_tiny_pool_caps_throughput(self):
+        # 8 in-flight RPCs at ~550ns each over ~16 cores: well below
+        # the offered 25 MRPS.
+        result = self.build(pool_size=8).run_point(25.0, 6_000)
+        assert result.point.achieved_throughput < 20.0
+
+    def test_pool_cannot_exceed_receive_buffer(self):
+        system = self.build(pool_size=10**7)
+        with pytest.raises(ValueError, match="exceeds"):
+            system.run_point(1.0, 100)
+
+    def test_invalid_policy_rejected(self):
+        system = RpcValetSystem(
+            SingleQueue(),
+            SyntheticWorkload("fixed"),
+            seed=0,
+            slot_policy="elastic",
+        )
+        with pytest.raises(ValueError, match="slot_policy"):
+            system.run_point(1.0, 100)
+
+    def test_reproducible(self):
+        first = self.build(pool_size=64).run_point(20.0, 4_000)
+        second = self.build(pool_size=64).run_point(20.0, 4_000)
+        assert first.p99 == second.p99

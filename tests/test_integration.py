@@ -1,0 +1,140 @@
+"""Cross-layer integration tests: the paper's claims end to end."""
+
+import pytest
+
+from repro import (
+    ChipConfig,
+    MicrobenchCosts,
+    RpcValetSystem,
+    SingleQueue,
+    SyntheticWorkload,
+    make_system,
+)
+from repro.experiments.fig9 import model_vs_simulation
+from repro.workloads import MasstreeWorkload
+
+
+class TestSingleQueueEmulation:
+    """§3.3/§6.3: RPCValet emulates the theoretical single queue."""
+
+    def test_sim_close_to_model_below_saturation(self):
+        # The paper's Fig. 9 claim: within 3-16%. Allow slack for the
+        # smoke profile's small sample sizes.
+        for kind in ("fixed", "exponential"):
+            panel = model_vs_simulation(kind, "smoke", seed=1)
+            assert panel["worst_gap"] < 0.35, kind
+
+    def test_conservation(self):
+        # Every generated request is eventually completed exactly once.
+        system = make_system("1x16", "synthetic-gev", seed=2)
+        result = system.run_point(offered_mrps=10.0, num_requests=8_000)
+        assert result.completed == 8_000
+
+
+class TestTailOrderingAcrossLayers:
+    def test_theory_and_arch_sim_agree_on_winner(self):
+        # Both layers must rank 1x16 ahead of 16x1 under GEV at ~85%.
+        from repro.dists import synthetic
+        from repro.queueing import QueueingSystem
+
+        service = synthetic("gev")
+        theory_single = QueueingSystem(1, 16, service, seed=3).run(0.85, 60_000)
+        theory_partitioned = QueueingSystem(16, 1, service, seed=3).run(0.85, 60_000)
+        assert theory_single.p99 < theory_partitioned.p99
+
+        arch_single = make_system("1x16", "synthetic-gev", seed=3).run_point(
+            11.0, 8_000
+        )
+        arch_partitioned = make_system("16x1", "synthetic-gev", seed=3).run_point(
+            11.0, 8_000
+        )
+        assert arch_single.p99 < arch_partitioned.p99
+
+
+class TestMasstreeInterference:
+    """§6.1/Fig 7b: scans wreck 16x1's get tail; 1x16 absorbs them."""
+
+    def test_scan_interference_hits_partitioned_hardest(self):
+        single = make_system("1x16", "masstree", seed=5).run_point(3.0, 6_000)
+        partitioned = make_system("16x1", "masstree", seed=5).run_point(3.0, 6_000)
+        # gets-only p99: partitioned queues gets behind scans.
+        assert partitioned.p99 > 3 * single.p99
+
+    def test_16x1_violates_get_slo_at_low_load(self):
+        # Paper: "16x1 cannot meet the SLO even for the lowest arrival
+        # rate of 2MRPS" (SLO = 12.5µs).
+        partitioned = make_system("16x1", "masstree", seed=5).run_point(2.0, 6_000)
+        assert partitioned.p99 > 12_500.0
+
+    def test_1x16_meets_get_slo_at_moderate_load(self):
+        single = make_system("1x16", "masstree", seed=5).run_point(3.0, 6_000)
+        assert single.p99 < 12_500.0
+
+    def test_execution_driven_masstree_runs(self):
+        from repro.store import TimedKVStore
+
+        store = TimedKVStore(num_keys=50_000, seed=1)
+        system = RpcValetSystem(
+            SingleQueue(),
+            MasstreeWorkload(store=store),
+            costs=MicrobenchCosts.lean(),
+            seed=1,
+        )
+        result = system.run_point(offered_mrps=2.0, num_requests=2_000)
+        assert result.completed == 2_000
+        assert result.p99 > 0
+
+
+class TestSoftwareCeiling:
+    def test_software_saturates_at_lock_rate(self):
+        # Dequeue ceiling ≈ 1/(handoff+critical) = 5 MRPS; offered 8
+        # must achieve ≈ 5.
+        software = make_system("sw-1x16", "synthetic-fixed", seed=1)
+        result = software.run_point(offered_mrps=8.0, num_requests=10_000)
+        assert result.point.achieved_throughput == pytest.approx(5.0, rel=0.1)
+
+    def test_hardware_sustains_same_load(self):
+        hardware = make_system("1x16", "synthetic-fixed", seed=1)
+        result = hardware.run_point(offered_mrps=8.0, num_requests=10_000)
+        assert result.point.achieved_throughput == pytest.approx(8.0, rel=0.1)
+
+
+class TestConfigurationScaling:
+    def test_64_core_chip_runs(self):
+        config = ChipConfig(
+            num_cores=64, mesh_rows=8, mesh_cols=8, num_backends=8
+        )
+        system = RpcValetSystem(
+            SingleQueue(),
+            SyntheticWorkload("exponential"),
+            config=config,
+            costs=MicrobenchCosts.paper_synthetic(),
+            seed=1,
+        )
+        # 64 cores at S̄≈1.2µs → ~53 MRPS capacity; run at ~60%.
+        result = system.run_point(offered_mrps=32.0, num_requests=10_000)
+        assert result.completed == 10_000
+        assert result.point.achieved_throughput == pytest.approx(32.0, rel=0.1)
+
+    def test_4_core_chip_runs(self):
+        config = ChipConfig(
+            num_cores=4, mesh_rows=2, mesh_cols=2, num_backends=2
+        )
+        system = RpcValetSystem(
+            SingleQueue(),
+            SyntheticWorkload("fixed"),
+            config=config,
+            costs=MicrobenchCosts.paper_synthetic(),
+            seed=1,
+        )
+        result = system.run_point(offered_mrps=2.0, num_requests=3_000)
+        assert result.completed == 3_000
+
+
+class TestSeedStability:
+    def test_full_experiment_reproducible(self):
+        from repro.experiments import run_fig2a
+
+        first = run_fig2a(profile="smoke", seed=7)
+        second = run_fig2a(profile="smoke", seed=7)
+        assert first.data["high_load_p99"] == second.data["high_load_p99"]

@@ -1,0 +1,96 @@
+"""Interference injection (§3.2): stragglers and random stalls."""
+
+import numpy as np
+import pytest
+
+from repro import MicrobenchCosts, RpcValetSystem, SingleQueue
+from repro.arch import PeriodicStragglers, RandomStalls
+from repro.balancing import Partitioned
+from repro.workloads import HerdWorkload
+
+
+class TestModels:
+    def test_periodic_straggler_schedule(self):
+        model = PeriodicStragglers([2], period_ns=100.0, pause_ns=50.0)
+        rng = np.random.default_rng(0)
+        # Unaffected core: never pauses.
+        assert model.pause_ns(0, 1_000.0, rng) == 0.0
+        # Affected core: pause once the period elapsed, then rearm.
+        assert model.pause_ns(2, 50.0, rng) == 0.0
+        assert model.pause_ns(2, 150.0, rng) == 50.0
+        assert model.pause_ns(2, 200.0, rng) == 0.0  # rearmed to 250
+        assert model.pause_ns(2, 260.0, rng) == 50.0
+
+    def test_degradation_fraction(self):
+        model = PeriodicStragglers([0], period_ns=12_000.0, pause_ns=4_000.0)
+        assert model.degradation == pytest.approx(0.25)
+
+    def test_random_stalls_statistics(self):
+        model = RandomStalls(probability=0.5, mean_pause_ns=100.0)
+        rng = np.random.default_rng(1)
+        pauses = [model.pause_ns(0, 0.0, rng) for _ in range(20_000)]
+        hit_fraction = sum(1 for p in pauses if p > 0) / len(pauses)
+        assert hit_fraction == pytest.approx(0.5, abs=0.02)
+        hits = [p for p in pauses if p > 0]
+        assert np.mean(hits) == pytest.approx(100.0, rel=0.05)
+
+    def test_random_stalls_core_filter(self):
+        model = RandomStalls(probability=1.0, mean_pause_ns=10.0, core_ids=[1])
+        rng = np.random.default_rng(2)
+        assert model.pause_ns(0, 0.0, rng) == 0.0
+        assert model.pause_ns(1, 0.0, rng) > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicStragglers([], 100.0, 10.0)
+        with pytest.raises(ValueError):
+            PeriodicStragglers([0], 0.0, 10.0)
+        with pytest.raises(ValueError):
+            RandomStalls(0.0, 10.0)
+        with pytest.raises(ValueError):
+            RandomStalls(0.5, 0.0)
+
+
+class TestSchemeResilience:
+    """§3.2: dispatch must route around disrupted cores."""
+
+    def run(self, scheme, interference):
+        system = RpcValetSystem(
+            scheme,
+            HerdWorkload(),
+            costs=MicrobenchCosts.lean(),
+            seed=4,
+            interference=interference,
+        )
+        return system.run_point(offered_mrps=20.0, num_requests=8_000)
+
+    def test_rpcvalet_absorbs_straggler(self):
+        healthy = self.run(SingleQueue(), None)
+        degraded = self.run(
+            SingleQueue(), PeriodicStragglers([3], 12_000.0, 4_000.0)
+        )
+        # Tail moves by at most ~30%; throughput unaffected.
+        assert degraded.p99 < 1.3 * healthy.p99
+        assert degraded.point.achieved_throughput == pytest.approx(
+            healthy.point.achieved_throughput, rel=0.02
+        )
+
+    def test_partitioned_suffers_from_straggler(self):
+        healthy = self.run(Partitioned(), None)
+        degraded = self.run(
+            Partitioned(), PeriodicStragglers([3], 12_000.0, 4_000.0)
+        )
+        assert degraded.p99 > 2 * healthy.p99
+
+    def test_straggler_hurts_partitioned_more_than_rpcvalet(self):
+        interference = PeriodicStragglers([3], 12_000.0, 4_000.0)
+        partitioned = self.run(Partitioned(), interference)
+        single = self.run(
+            SingleQueue(), PeriodicStragglers([3], 12_000.0, 4_000.0)
+        )
+        assert partitioned.p99 > 4 * single.p99
+
+    def test_interference_is_reproducible(self):
+        first = self.run(SingleQueue(), RandomStalls(0.02, 2_000.0))
+        second = self.run(SingleQueue(), RandomStalls(0.02, 2_000.0))
+        assert first.p99 == second.p99

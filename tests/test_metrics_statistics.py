@@ -1,0 +1,90 @@
+"""MSER-5 warmup truncation and batch-means confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import BatchMeansResult, batch_means_ci, mser5_truncation
+from repro.queueing import mm1_mean_sojourn, poisson_arrivals, sojourn_times
+
+
+class TestMser5:
+    def test_detects_transient_ramp(self):
+        rng = np.random.default_rng(0)
+        # 500 inflated warmup samples, then stationary noise.
+        warmup = 50.0 + rng.normal(0, 1.0, 500)
+        steady = rng.normal(0, 1.0, 5_000)
+        series = np.concatenate([warmup, steady])
+        cut = mser5_truncation(series)
+        assert 400 <= cut <= 1_000
+
+    def test_stationary_series_keeps_everything(self):
+        rng = np.random.default_rng(1)
+        series = rng.normal(10.0, 1.0, 5_000)
+        cut = mser5_truncation(series)
+        # No transient: truncation is (near) zero.
+        assert cut <= 0.1 * series.size
+
+    def test_short_series_returns_zero(self):
+        assert mser5_truncation(np.arange(10.0)) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mser5_truncation(np.arange(100.0), batch_size=0)
+        with pytest.raises(ValueError):
+            mser5_truncation(np.zeros((10, 10)))
+
+    def test_on_real_queueing_output(self):
+        # An M/M/1 started empty: the first sojourns are biased low;
+        # MSER should trim some prefix, and the trimmed mean should be
+        # closer to the analytic value than the untrimmed mean.
+        rng = np.random.default_rng(2)
+        lam, mu, n = 0.9, 1.0, 40_000
+        arrivals = poisson_arrivals(rng, lam, n)
+        services = rng.exponential(1.0 / mu, n)
+        sojourns = sojourn_times(arrivals, services, 1)
+        cut = mser5_truncation(sojourns)
+        analytic = mm1_mean_sojourn(lam, mu)
+        trimmed_error = abs(sojourns[cut:].mean() - analytic)
+        raw_error = abs(sojourns.mean() - analytic)
+        assert trimmed_error <= raw_error + 0.05 * analytic
+
+
+class TestBatchMeans:
+    def test_iid_coverage(self):
+        # For iid data the CI must cover the true mean ~95% of the time.
+        rng = np.random.default_rng(3)
+        covered = 0
+        trials = 300
+        for _ in range(trials):
+            data = rng.exponential(2.0, 2_000)
+            result = batch_means_ci(data)
+            if result.contains(2.0):
+                covered += 1
+        assert covered / trials > 0.90
+
+    def test_wider_than_naive_for_correlated_data(self):
+        # Queueing sojourns are positively autocorrelated: the batch
+        # CI must be wider than the (invalid) iid CI.
+        rng = np.random.default_rng(4)
+        lam, n = 0.9, 60_000
+        arrivals = poisson_arrivals(rng, lam, n)
+        services = rng.exponential(1.0, n)
+        sojourns = sojourn_times(arrivals, services, 1, warmup_fraction=0.2)
+        result = batch_means_ci(sojourns)
+        naive_half_width = 1.96 * sojourns.std(ddof=1) / np.sqrt(sojourns.size)
+        assert result.half_width > 2 * naive_half_width
+
+    def test_interval_and_fields(self):
+        data = np.arange(100.0)
+        result = batch_means_ci(data, num_batches=10)
+        assert isinstance(result, BatchMeansResult)
+        low, high = result.interval
+        assert low < result.mean < high
+        assert result.num_batches == 10
+        assert result.batch_size == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            batch_means_ci(np.arange(100.0), num_batches=1)
+        with pytest.raises(ValueError):
+            batch_means_ci(np.arange(10.0), num_batches=20)

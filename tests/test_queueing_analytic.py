@@ -1,0 +1,261 @@
+"""Closed-form queueing formulas against textbook values."""
+
+import math
+
+import pytest
+
+from repro.queueing import (
+    erlang_c,
+    mg1_mean_sojourn,
+    mg1_mean_wait,
+    mm1_mean_sojourn,
+    mm1_sojourn_percentile,
+    mmc_mean_sojourn,
+    mmc_mean_wait,
+    mmc_wait_percentile,
+)
+
+
+class TestMM1:
+    def test_mean_sojourn(self):
+        # Classic: λ=0.5, µ=1 → W = 1/(1-0.5) = 2.
+        assert mm1_mean_sojourn(0.5, 1.0) == pytest.approx(2.0)
+
+    def test_percentile_median(self):
+        # Sojourn ~ Exp(µ-λ); median = ln(2)/(µ-λ).
+        assert mm1_sojourn_percentile(0.5, 1.0, 0.5) == pytest.approx(
+            math.log(2.0) / 0.5
+        )
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError):
+            mm1_mean_sojourn(1.0, 1.0)
+
+    def test_bad_quantile(self):
+        with pytest.raises(ValueError):
+            mm1_sojourn_percentile(0.5, 1.0, 1.0)
+
+
+class TestErlangC:
+    def test_single_server_equals_rho(self):
+        # For c=1, P(wait) = ρ.
+        assert erlang_c(1, 0.7) == pytest.approx(0.7)
+
+    def test_known_value(self):
+        # Textbook: c=2, a=1 → ErlangC = 1/3.
+        assert erlang_c(2, 1.0) == pytest.approx(1.0 / 3.0)
+
+    def test_zero_load(self):
+        assert erlang_c(8, 0.0) == 0.0
+
+    def test_monotone_in_load(self):
+        values = [erlang_c(16, a) for a in (4.0, 8.0, 12.0, 15.0)]
+        assert values == sorted(values)
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError):
+            erlang_c(4, 4.0)
+
+
+class TestMMC:
+    def test_c1_reduces_to_mm1(self):
+        lam, mu = 0.6, 1.0
+        assert mmc_mean_sojourn(1, lam, mu) == pytest.approx(
+            mm1_mean_sojourn(lam, mu)
+        )
+
+    def test_mean_wait_known_value(self):
+        # M/M/2 with λ=1, µ=1: P(wait)=1/3, wait = (1/3)/(2-1) = 1/3.
+        assert mmc_mean_wait(2, 1.0, 1.0) == pytest.approx(1.0 / 3.0)
+
+    def test_wait_percentile_zero_below_mass(self):
+        # With P(wait) = 1/3, the 50th percentile of wait is 0.
+        assert mmc_wait_percentile(2, 1.0, 1.0, 0.5) == 0.0
+
+    def test_wait_percentile_positive_in_tail(self):
+        p99 = mmc_wait_percentile(2, 1.0, 1.0, 0.99)
+        assert p99 > 0
+        # P(W > t) = P_wait * exp(-(cµ-λ)t); invert at 0.01.
+        expected = math.log((1.0 / 3.0) / 0.01) / 1.0
+        assert p99 == pytest.approx(expected)
+
+    def test_more_servers_less_wait(self):
+        # Same utilization 0.8, scaling λ with c.
+        waits = [mmc_mean_wait(c, 0.8 * c, 1.0) for c in (1, 2, 4, 16)]
+        assert waits == sorted(waits, reverse=True)
+
+
+class TestMG1:
+    def test_exponential_reduces_to_mm1(self):
+        lam, mean = 0.7, 1.0
+        # Exp service: E[S^2] = 2 mean^2.
+        assert mg1_mean_sojourn(lam, mean, 2.0 * mean**2) == pytest.approx(
+            mm1_mean_sojourn(lam, 1.0 / mean)
+        )
+
+    def test_deterministic_halves_the_wait(self):
+        lam, mean = 0.7, 1.0
+        exponential = mg1_mean_wait(lam, mean, 2.0 * mean**2)
+        deterministic = mg1_mean_wait(lam, mean, mean**2)
+        assert deterministic == pytest.approx(exponential / 2.0)
+
+    def test_invalid_second_moment(self):
+        with pytest.raises(ValueError):
+            mg1_mean_wait(0.5, 1.0, 0.5)
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError):
+            mg1_mean_wait(1.5, 1.0, 2.0)
+
+
+class TestValidationHarness:
+    def test_simulator_matches_closed_forms(self):
+        from repro.queueing import run_validation
+
+        rows = run_validation(num_requests=200_000, seed=3)
+        assert len(rows) >= 10
+        worst = max(row.relative_error for row in rows)
+        assert worst < 0.10
+        # Low-utilization rows converge much tighter.
+        easy = [r for r in rows if "rho=0.3" in r.system]
+        assert all(row.relative_error < 0.03 for row in easy)
+
+    def test_row_fields(self):
+        from repro.queueing import ValidationRow
+
+        row = ValidationRow("sys", "mean", analytic=2.0, simulated=2.1)
+        assert row.relative_error == pytest.approx(0.05)
+
+    def test_sample_size_guard(self):
+        from repro.queueing import run_validation
+
+        with pytest.raises(ValueError):
+            run_validation(num_requests=10)
+
+
+class TestApproximations:
+    def test_allen_cunneen_reduces_to_mmc(self):
+        from repro.queueing import mgc_mean_wait_allen_cunneen
+
+        # cs^2 = 1 (exponential) → exactly M/M/c.
+        assert mgc_mean_wait_allen_cunneen(
+            4, 2.8, 1.0, 1.0
+        ) == pytest.approx(mmc_mean_wait(4, 2.8, 1.0))
+
+    def test_allen_cunneen_reduces_to_pk_for_c1(self):
+        from repro.queueing import mg1_mean_wait, mgc_mean_wait_allen_cunneen
+
+        # Deterministic service: cs^2 = 0, E[S^2] = E[S]^2.
+        assert mgc_mean_wait_allen_cunneen(
+            1, 0.7, 1.0, 0.0
+        ) == pytest.approx(mg1_mean_wait(0.7, 1.0, 1.0))
+
+    def test_allen_cunneen_vs_simulation(self):
+        import numpy as np
+
+        from repro.queueing import (
+            mgc_mean_wait_allen_cunneen,
+            poisson_arrivals,
+            sojourn_times,
+        )
+
+        rng = np.random.default_rng(5)
+        n = 300_000
+        servers, rho = 16, 0.8
+        arrivals = poisson_arrivals(rng, rho * servers, n)
+        # Gamma service with cs^2 = 0.5, mean 1.
+        services = rng.gamma(2.0, 0.5, n)
+        sojourns = sojourn_times(arrivals, services, servers, warmup_fraction=0.1)
+        sim_wait = float(sojourns.mean()) - 1.0
+        approx_wait = mgc_mean_wait_allen_cunneen(servers, rho * servers, 1.0, 0.5)
+        assert sim_wait == pytest.approx(approx_wait, rel=0.15)
+
+    def test_kingman_exact_for_mm1(self):
+        from repro.queueing import gg1_mean_wait_kingman
+
+        lam = 0.7
+        # M/M/1: ca^2 = cs^2 = 1 → W = rho/(1-rho) * E[S].
+        expected = mm1_mean_sojourn(lam, 1.0) - 1.0
+        assert gg1_mean_wait_kingman(lam, 1.0, 1.0, 1.0) == pytest.approx(expected)
+
+    def test_kingman_lower_variability_less_wait(self):
+        from repro.queueing import gg1_mean_wait_kingman
+
+        smooth = gg1_mean_wait_kingman(0.8, 1.0, 0.2, 0.2)
+        bursty = gg1_mean_wait_kingman(0.8, 1.0, 2.0, 2.0)
+        assert smooth < bursty
+
+    def test_validation(self):
+        from repro.queueing import (
+            gg1_mean_wait_kingman,
+            mgc_mean_wait_allen_cunneen,
+        )
+
+        with pytest.raises(ValueError):
+            mgc_mean_wait_allen_cunneen(4, 1.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            mgc_mean_wait_allen_cunneen(4, 1.0, 1.0, -1.0)
+        with pytest.raises(ValueError):
+            gg1_mean_wait_kingman(1.0, 1.0, 1.0, 1.0)  # unstable
+
+
+class TestExactMMCSojourn:
+    def test_c1_matches_mm1_formula(self):
+        from repro.queueing import mmc_sojourn_percentile
+
+        assert mmc_sojourn_percentile(1, 0.7, 1.0, 0.99) == pytest.approx(
+            mm1_sojourn_percentile(0.7, 1.0, 0.99), rel=1e-8
+        )
+
+    def test_cdf_properties(self):
+        from repro.queueing import mmc_sojourn_cdf
+
+        assert mmc_sojourn_cdf(16, 12.8, 1.0, -1.0) == 0.0
+        assert mmc_sojourn_cdf(16, 12.8, 1.0, 0.0) == pytest.approx(0.0)
+        values = [mmc_sojourn_cdf(16, 12.8, 1.0, t) for t in (0.5, 1, 2, 4, 8)]
+        assert values == sorted(values)  # monotone
+        assert mmc_sojourn_cdf(16, 12.8, 1.0, 100.0) == pytest.approx(1.0)
+
+    def test_percentile_matches_simulation(self):
+        import numpy as np
+
+        from repro.queueing import (
+            mmc_sojourn_percentile,
+            poisson_arrivals,
+            sojourn_times,
+        )
+
+        rng = np.random.default_rng(6)
+        c, rho, n = 16, 0.8, 400_000
+        arrivals = poisson_arrivals(rng, rho * c, n)
+        services = rng.exponential(1.0, n)
+        sojourns = sojourn_times(arrivals, services, c, warmup_fraction=0.1)
+        for quantile in (0.5, 0.9, 0.99):
+            exact = mmc_sojourn_percentile(c, rho * c, 1.0, quantile)
+            simulated = float(np.percentile(sojourns, quantile * 100))
+            assert simulated == pytest.approx(exact, rel=0.03), quantile
+
+    def test_anchors_fig2a_exponential_curve(self):
+        # The theoretical Fig. 2a exponential curves are closed-form at
+        # both extremes: 1x16 = M/M/16, and each 16x1 queue = M/M/1.
+        from repro.dists import Exponential
+        from repro.queueing import QueueingSystem, mmc_sojourn_percentile
+
+        load = 0.8
+        single = QueueingSystem(1, 16, Exponential(1.0), seed=7).run(
+            load, num_requests=300_000
+        )
+        exact_single = mmc_sojourn_percentile(16, load * 16, 1.0, 0.99)
+        assert single.p99 == pytest.approx(exact_single, rel=0.05)
+
+        partitioned = QueueingSystem(16, 1, Exponential(1.0), seed=7).run(
+            load, num_requests=300_000
+        )
+        exact_partitioned = mmc_sojourn_percentile(1, load, 1.0, 0.99)
+        assert partitioned.p99 == pytest.approx(exact_partitioned, rel=0.05)
+
+    def test_invalid_quantile(self):
+        from repro.queueing import mmc_sojourn_percentile
+
+        with pytest.raises(ValueError):
+            mmc_sojourn_percentile(4, 2.0, 1.0, 1.0)

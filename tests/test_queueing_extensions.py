@@ -1,0 +1,161 @@
+"""Preemptive scheduling and request hedging (related-work extensions)."""
+
+import numpy as np
+import pytest
+
+from repro.queueing import (
+    RandomRouter,
+    poisson_arrivals,
+    simulate_fifo_queue,
+    simulate_hedged_queues,
+    simulate_preemptive_queue,
+    simulate_routed_queues,
+)
+
+
+def masstree_like_services(rng, n, scan_fraction=0.01):
+    """~1µs gets + rare 60-120µs scans (in µs units)."""
+    is_scan = rng.uniform(size=n) < scan_fraction
+    gets = rng.gamma(3.0, 1.25 / 3.0, n)
+    scans = rng.uniform(60.0, 120.0, n)
+    return np.where(is_scan, scans, gets), ~is_scan
+
+
+class TestPreemption:
+    def test_infinite_quantum_equals_fifo(self):
+        rng = np.random.default_rng(1)
+        n = 20_000
+        arrivals = poisson_arrivals(rng, 12.0, n)
+        services = rng.exponential(1.0, n)
+        fifo = simulate_fifo_queue(arrivals, services, 16) - arrivals
+        result = simulate_preemptive_queue(
+            arrivals, services, 16, quantum=float("inf")
+        )
+        np.testing.assert_allclose(result.sojourns, fifo, rtol=1e-12)
+        assert result.preemptions == 0
+
+    def test_quantum_bounds_head_of_line_blocking(self):
+        # One huge job + a stream of tiny ones on a single server:
+        # without preemption the tiny jobs wait the whole huge job;
+        # with quantum 1 they wait at most ~1 per round.
+        arrivals = np.array([0.0, 0.1, 0.2])
+        services = np.array([100.0, 0.5, 0.5])
+        fifo = simulate_fifo_queue(arrivals, services, 1) - arrivals
+        assert fifo[1] > 99.0
+        preempted = simulate_preemptive_queue(
+            arrivals, services, 1, quantum=1.0
+        )
+        assert preempted.sojourns[1] < 3.0
+        assert preempted.preemptions >= 99
+
+    def test_preemption_overhead_charged(self):
+        arrivals = np.array([0.0])
+        services = np.array([10.0])
+        result = simulate_preemptive_queue(
+            arrivals, services, 1, quantum=1.0, preemption_overhead=0.5
+        )
+        # The overhead is itself core work subject to slicing: total
+        # occupancy T solves T = 10 + 0.5·(ceil(T) − 1) → T = 19 with
+        # 18 preemptions.
+        assert result.preemptions == 18
+        assert result.sojourns[0] == pytest.approx(19.0)
+        assert result.preemptions_per_job == pytest.approx(18.0)
+
+    def test_zero_overhead_preemption_count(self):
+        arrivals = np.array([0.0])
+        services = np.array([10.0])
+        result = simulate_preemptive_queue(arrivals, services, 1, quantum=1.0)
+        assert result.preemptions == 9
+        assert result.sojourns[0] == pytest.approx(10.0)
+
+    def test_get_tail_improves_for_masstree_mix_single_server_queues(self):
+        rng = np.random.default_rng(2)
+        n = 40_000
+        services, is_get = masstree_like_services(rng, n)
+        arrivals = poisson_arrivals(rng, 0.5 / services.mean(), n)
+        fifo = simulate_fifo_queue(arrivals, services, 1) - arrivals
+        preempted = simulate_preemptive_queue(
+            arrivals, services, 1, quantum=5.0, preemption_overhead=0.1
+        )
+        fifo_get_p99 = np.percentile(fifo[is_get][n // 10:], 99)
+        preempted_get_p99 = np.percentile(
+            preempted.sojourns[is_get][n // 10:], 99
+        )
+        assert preempted_get_p99 < 0.5 * fifo_get_p99
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_preemptive_queue(np.zeros(1), np.ones(1), 1, quantum=0.0)
+        with pytest.raises(ValueError):
+            simulate_preemptive_queue(np.zeros(1), np.ones(1), 0, quantum=1.0)
+        with pytest.raises(ValueError):
+            simulate_preemptive_queue(
+                np.zeros(1), np.ones(1), 1, quantum=1.0, preemption_overhead=-1.0
+            )
+        with pytest.raises(ValueError):
+            simulate_preemptive_queue(
+                np.array([1.0, 0.0]), np.ones(2), 1, quantum=1.0
+            )
+
+
+class TestHedging:
+    def run_pair(self, load=0.5, copies=2, n=40_000, seed=3):
+        rng = np.random.default_rng(seed)
+        arrivals = poisson_arrivals(rng, 16.0 * load, n)
+        services = rng.exponential(1.0, n)
+        plain = simulate_routed_queues(
+            arrivals, services, 16, 1, RandomRouter(), np.random.default_rng(4)
+        )
+        hedged = simulate_hedged_queues(
+            arrivals, services, 16, copies=copies, rng=np.random.default_rng(4)
+        )
+        return plain[n // 10:], hedged
+
+    def test_hedging_cuts_tail_at_moderate_load(self):
+        plain, hedged = self.run_pair(load=0.5)
+        n = hedged.sojourns.size
+        assert np.percentile(hedged.sojourns[n // 10:], 99) < np.percentile(
+            plain, 99
+        )
+
+    def test_hedging_wastes_work(self):
+        _plain, hedged = self.run_pair(load=0.5)
+        # §7's objection: duplication executes redundant requests.
+        assert hedged.waste_fraction > 0.2
+        assert hedged.wasted_work == pytest.approx(
+            hedged.total_work * hedged.waste_fraction
+        )
+
+    def test_single_copy_is_plain_random(self):
+        rng = np.random.default_rng(5)
+        n = 20_000
+        arrivals = poisson_arrivals(rng, 8.0, n)
+        services = rng.exponential(1.0, n)
+        hedged = simulate_hedged_queues(
+            arrivals, services, 16, copies=1, rng=np.random.default_rng(6)
+        )
+        assert hedged.waste_fraction == 0.0
+        plain = simulate_routed_queues(
+            arrivals, services, 16, 1, RandomRouter(), np.random.default_rng(7)
+        )
+        assert np.percentile(hedged.sojourns, 99) == pytest.approx(
+            np.percentile(plain, 99), rel=0.3
+        )
+
+    def test_hedging_backfires_at_high_load(self):
+        # The added load saturates the system: hedging must eventually
+        # hurt (the paper's argument against client-side duplication at
+        # µs scale).
+        plain, hedged = self.run_pair(load=0.8)
+        n = hedged.sojourns.size
+        assert np.percentile(hedged.sojourns[n // 10:], 99) > np.percentile(
+            plain, 99
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_hedged_queues(np.zeros(1), np.ones(1), 1, copies=1)
+        with pytest.raises(ValueError):
+            simulate_hedged_queues(np.zeros(1), np.ones(1), 4, copies=5)
+        with pytest.raises(ValueError):
+            simulate_hedged_queues(np.array([1.0, 0.0]), np.ones(2), 4)

@@ -1,0 +1,122 @@
+"""Finite-buffer (M/M/c/K) results and their simulator counterpart."""
+
+import numpy as np
+import pytest
+
+from repro.queueing import (
+    erlang_b,
+    erlang_c,
+    mm1_mean_sojourn,
+    mmck_blocking_probability,
+    mmck_distribution,
+    mmck_mean_jobs,
+    mmck_throughput,
+)
+
+
+class TestDistribution:
+    def test_sums_to_one(self):
+        dist = mmck_distribution(4, 10, 3.0, 1.0)
+        assert sum(dist) == pytest.approx(1.0)
+        assert len(dist) == 11
+        assert all(p >= 0 for p in dist)
+
+    def test_mm11_two_states(self):
+        # M/M/1/1: p0 = 1/(1+a), p1 = a/(1+a).
+        dist = mmck_distribution(1, 1, 2.0, 1.0)
+        assert dist[0] == pytest.approx(1.0 / 3.0)
+        assert dist[1] == pytest.approx(2.0 / 3.0)
+
+    def test_large_k_approaches_mm1(self):
+        # K → ∞: mean jobs → M/M/1 value L = rho/(1-rho).
+        lam, mu = 0.6, 1.0
+        mean_jobs = mmck_mean_jobs(1, 200, lam, mu)
+        assert mean_jobs == pytest.approx(0.6 / 0.4, rel=1e-6)
+        # And mean sojourn via Little's law matches M/M/1.
+        throughput = mmck_throughput(1, 200, lam, mu)
+        assert mean_jobs / throughput == pytest.approx(
+            mm1_mean_sojourn(lam, mu), rel=1e-6
+        )
+
+    def test_overloaded_system_is_still_stable(self):
+        dist = mmck_distribution(2, 6, 10.0, 1.0)  # rho = 5
+        assert sum(dist) == pytest.approx(1.0)
+        # Mass concentrates at the cap.
+        assert dist[-1] > 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mmck_distribution(0, 1, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            mmck_distribution(4, 3, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            mmck_distribution(1, 1, 0.0, 1.0)
+
+
+class TestBlocking:
+    def test_erlang_b_matches_k_equals_c(self):
+        for servers, offered in ((1, 0.5), (4, 3.0), (16, 12.0)):
+            assert erlang_b(servers, offered) == pytest.approx(
+                mmck_blocking_probability(servers, servers, offered, 1.0)
+            )
+
+    def test_erlang_b_below_erlang_c(self):
+        # Blocking (loss) <= probability of waiting (delay system).
+        assert erlang_b(8, 6.0) < erlang_c(8, 6.0)
+
+    def test_throughput_caps_at_capacity(self):
+        # Overloaded finite system: accepted rate ≈ c·µ.
+        accepted = mmck_throughput(4, 16, 100.0, 1.0)
+        assert accepted == pytest.approx(4.0, rel=0.01)
+
+    def test_more_buffer_less_blocking(self):
+        blockings = [
+            mmck_blocking_probability(4, k, 3.6, 1.0) for k in (4, 8, 16, 64)
+        ]
+        assert blockings == sorted(blockings, reverse=True)
+
+    def test_erlang_b_validation(self):
+        with pytest.raises(ValueError):
+            erlang_b(0, 1.0)
+        assert erlang_b(4, 0.0) == 0.0
+
+
+class TestAgainstSimulatedFlowControl:
+    def test_blocking_matches_slot_limited_simulation(self):
+        """An M/M/c/K event simulation agrees with the closed form."""
+        rng = np.random.default_rng(8)
+        servers, capacity = 4, 8
+        lam, mu = 6.0, 1.0
+        n = 200_000
+        gaps = rng.exponential(1.0 / lam, n)
+        services = rng.exponential(1.0 / mu, n)
+
+        # Direct M/M/c/K simulation: arrivals finding K jobs are lost.
+        import heapq
+
+        time = 0.0
+        in_system = 0
+        events = []  # departure times
+        blocked = 0
+        for index in range(n):
+            time += gaps[index]
+            while events and events[0] <= time:
+                heapq.heappop(events)
+                in_system -= 1
+            if in_system >= capacity:
+                blocked += 1
+                continue
+            in_system += 1
+            # Start time: now if a server free, else after the
+            # (in_system - servers)-th pending departure. For blocking
+            # statistics only occupancy matters; schedule departure
+            # after service once a server frees.
+            if len(events) < servers:
+                heapq.heappush(events, time + services[index])
+            else:
+                # FIFO: starts when the (len-servers+1)th departure frees
+                start = sorted(events)[len(events) - servers]
+                heapq.heappush(events, start + services[index])
+        simulated = blocked / n
+        analytic = mmck_blocking_probability(servers, capacity, lam, mu)
+        assert simulated == pytest.approx(analytic, rel=0.05)

@@ -1,0 +1,93 @@
+"""Routed multi-queue systems: JSQ / Power-of-d / JIQ / RR / random."""
+
+import numpy as np
+import pytest
+
+from repro.queueing import (
+    JIQRouter,
+    JSQRouter,
+    PowerOfDRouter,
+    RandomRouter,
+    RoundRobinRouter,
+    poisson_arrivals,
+    simulate_fifo_queue,
+    simulate_routed_queues,
+)
+
+
+def _run(router, load=0.85, n=80_000, num_queues=16, servers=1, seed=0):
+    rng = np.random.default_rng(seed)
+    arrivals = poisson_arrivals(rng, rate=load * num_queues * servers, count=n)
+    services = rng.exponential(1.0, n)
+    route_rng = np.random.default_rng(seed + 1)
+    sojourns = simulate_routed_queues(
+        arrivals, services, num_queues, servers, router, route_rng
+    )
+    return sojourns[n // 10:]  # trim warmup
+
+
+class TestCorrectness:
+    def test_single_queue_any_router_matches_fifo(self):
+        # With one queue every router must reproduce plain G/G/c FIFO.
+        rng = np.random.default_rng(2)
+        n = 5000
+        arrivals = poisson_arrivals(rng, 3.0, n)
+        services = rng.exponential(1.0, n)
+        expected = simulate_fifo_queue(arrivals, services, 4) - arrivals
+        for router in (RandomRouter(), JSQRouter(), JIQRouter()):
+            actual = simulate_routed_queues(
+                arrivals, services, 1, 4, router, np.random.default_rng(0)
+            )
+            np.testing.assert_allclose(actual, expected, rtol=1e-12)
+
+    def test_round_robin_is_cyclic(self):
+        router = RoundRobinRouter()
+        choices = [router.choose([0] * 4, [1] * 4, None) for _ in range(8)]
+        assert choices == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_all_requests_complete(self):
+        sojourns = _run(JSQRouter(), n=5000)
+        assert np.all(sojourns > 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_routed_queues(
+                np.array([1.0, 0.0]), np.zeros(2), 2, 1, RandomRouter()
+            )
+        with pytest.raises(ValueError):
+            simulate_routed_queues(np.zeros(1), np.zeros(1), 0, 1, RandomRouter())
+        with pytest.raises(ValueError):
+            PowerOfDRouter(0)
+
+
+class TestPolicyQuality:
+    """Orderings the queueing literature predicts (related work, §7)."""
+
+    def test_jsq_beats_random(self):
+        random_p99 = np.percentile(_run(RandomRouter()), 99)
+        jsq_p99 = np.percentile(_run(JSQRouter()), 99)
+        assert jsq_p99 < random_p99 / 2  # JSQ is dramatically better
+
+    def test_power_of_two_between_random_and_jsq(self):
+        random_p99 = np.percentile(_run(RandomRouter()), 99)
+        pod2_p99 = np.percentile(_run(PowerOfDRouter(2)), 99)
+        jsq_p99 = np.percentile(_run(JSQRouter()), 99)
+        assert jsq_p99 <= pod2_p99 <= random_p99
+
+    def test_more_choices_help(self):
+        p99s = [
+            np.percentile(_run(PowerOfDRouter(d)), 99) for d in (1, 2, 4)
+        ]
+        assert p99s[2] < p99s[1] < p99s[0]
+
+    def test_jiq_beats_random(self):
+        random_p99 = np.percentile(_run(RandomRouter()), 99)
+        jiq_p99 = np.percentile(_run(JIQRouter()), 99)
+        assert jiq_p99 < random_p99
+
+    def test_d1_is_random(self):
+        # Power-of-1 = uniform random choice: same distributional
+        # behaviour (not identical draws, so compare statistics).
+        pod1 = np.percentile(_run(PowerOfDRouter(1), seed=5), 99)
+        rand = np.percentile(_run(RandomRouter(), seed=5), 99)
+        assert pod1 == pytest.approx(rand, rel=0.25)

@@ -1,0 +1,97 @@
+"""Environment run-loop semantics."""
+
+import pytest
+
+from repro.sim import EmptySchedule, Environment, delayed_call
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestClock:
+    def test_starts_at_initial_time(self):
+        assert Environment(initial_time=7.5).now == 7.5
+
+    def test_time_advances_monotonically(self, env):
+        seen = []
+        for delay in (5, 1, 3):
+            env.timeout(delay).add_callback(lambda e: seen.append(env.now))
+        env.run()
+        assert seen == [1.0, 3.0, 5.0]
+
+    def test_simultaneous_events_fifo(self, env):
+        order = []
+        for tag in range(5):
+            env.timeout(2, tag).add_callback(
+                lambda e: order.append(e.value)
+            )
+        env.run()
+        assert order == [0, 1, 2, 3, 4]
+
+
+class TestRun:
+    def test_run_until_time_stops_clock_there(self, env):
+        env.timeout(10)
+        env.run(until=4.0)
+        assert env.now == 4.0
+
+    def test_run_until_time_in_past_raises(self, env):
+        env.timeout(10)
+        env.run(until=5)
+        with pytest.raises(ValueError):
+            env.run(until=3)
+
+    def test_run_until_event_returns_value(self, env):
+        assert env.run(until=env.timeout(2, "v")) == "v"
+        assert env.now == 2.0
+
+    def test_run_until_already_processed_event(self, env):
+        timeout = env.timeout(1, "v")
+        env.run()
+        assert env.run(until=timeout) == "v"
+
+    def test_run_until_failed_event_raises(self, env):
+        event = env.event()
+
+        def failer():
+            yield env.timeout(1)
+            event.fail(ValueError("x"))
+
+        env.process(failer())
+        with pytest.raises(ValueError):
+            env.run(until=event)
+
+    def test_run_until_event_that_never_fires(self, env):
+        event = env.event()
+        env.timeout(1)
+        with pytest.raises(RuntimeError, match="ended before"):
+            env.run(until=event)
+
+    def test_run_with_empty_schedule_returns(self, env):
+        assert env.run() is None
+
+    def test_step_on_empty_schedule_raises(self, env):
+        with pytest.raises(EmptySchedule):
+            env.step()
+
+    def test_peek(self, env):
+        assert env.peek() == float("inf")
+        env.timeout(4)
+        assert env.peek() == 4.0
+
+
+class TestDelayedCall:
+    def test_invokes_with_args_at_delay(self, env):
+        calls = []
+        delayed_call(env, 6.0, lambda a, b: calls.append((env.now, a, b)), 1, 2)
+        env.run()
+        assert calls == [(6.0, 1, 2)]
+
+    def test_many_delayed_calls_ordered(self, env):
+        calls = []
+        for delay in (3, 1, 2):
+            delayed_call(env, delay, calls.append, delay)
+        env.run()
+        assert calls == [1, 2, 3]

@@ -1,0 +1,212 @@
+"""KVStore service layer and the TimedKVStore cost integration."""
+
+import numpy as np
+import pytest
+
+from repro.store import CostModel, KVStore, OpStats, TimedKVStore
+
+RNG = lambda: np.random.default_rng(31)  # noqa: E731
+
+
+class TestCostModel:
+    def test_base_cost_composition(self):
+        model = CostModel(
+            fixed_ns=100.0,
+            per_node_ns=10.0,
+            per_level_ns=5.0,
+            per_scan_item_ns=50.0,
+            jitter_std_fraction=0.0,
+        )
+        stats = OpStats(nodes_traversed=3, levels_descended=2, items_scanned=4)
+        assert model.base_cost_ns(stats) == 100 + 30 + 10 + 200
+
+    def test_zero_jitter_is_deterministic(self):
+        model = CostModel(jitter_std_fraction=0.0)
+        stats = OpStats(5, 5)
+        assert model.cost_ns(stats, RNG()) == model.base_cost_ns(stats)
+
+    def test_jitter_centers_on_base(self):
+        model = CostModel(jitter_std_fraction=0.2)
+        stats = OpStats(10, 10)
+        rng = RNG()
+        samples = [model.cost_ns(stats, rng) for _ in range(20_000)]
+        assert np.mean(samples) == pytest.approx(
+            model.base_cost_ns(stats), rel=0.02
+        )
+
+    def test_jitter_never_negative(self):
+        model = CostModel(jitter_std_fraction=0.9)
+        stats = OpStats(10, 10)
+        rng = RNG()
+        base = model.base_cost_ns(stats)
+        for _ in range(5_000):
+            assert model.cost_ns(stats, rng) >= 0.1 * base
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostModel(fixed_ns=-1.0)
+        with pytest.raises(ValueError):
+            CostModel(jitter_std_fraction=1.0)
+
+
+class TestKVStore:
+    def test_accounting(self):
+        store = KVStore(rng=np.random.default_rng(0))
+        store.put(1, "a")
+        store.get(1)
+        store.scan(0, 10)
+        store.delete(1)
+        assert store.ops == 4
+        assert store.total_hops > 0
+
+    def test_operations(self):
+        store = KVStore(rng=np.random.default_rng(0))
+        store.put(2, "b")
+        assert store.get(2)[0] == "b"
+        assert len(store) == 1
+        removed, _stats = store.delete(2)
+        assert removed
+        assert len(store) == 0
+
+
+class TestTimedKVStore:
+    def test_get_costs_near_masstree_mean(self):
+        # Calibration target: ~1.25µs gets on a 100k-key store.
+        store = TimedKVStore(num_keys=100_000, seed=2)
+        rng = RNG()
+        gets = [store.timed_get(rng) for _ in range(2_000)]
+        assert np.mean(gets) == pytest.approx(1250.0, rel=0.15)
+        assert store.expected_get_ns == pytest.approx(1250.0, rel=0.15)
+
+    def test_scan_costs_in_paper_band(self):
+        # §5: scan runtime 60-120µs for 100-key scans.
+        store = TimedKVStore(num_keys=100_000, seed=2)
+        rng = RNG()
+        scans = [store.timed_scan(100, rng) for _ in range(200)]
+        assert 50_000.0 < np.mean(scans) < 130_000.0
+        assert store.expected_scan_ns(100) == pytest.approx(
+            np.mean(scans), rel=0.2
+        )
+
+    def test_preloaded_keys_present(self):
+        store = TimedKVStore(num_keys=1_000, seed=0)
+        assert len(store.store) == 1_000
+        value, _stats = store.store.get(500)
+        assert value == "value-500"
+
+    def test_invalid_num_keys(self):
+        with pytest.raises(ValueError):
+            TimedKVStore(num_keys=0)
+
+
+class TestHashTable:
+    def make(self):
+        from repro.store import HashTable
+
+        return HashTable(num_buckets=16)
+
+    def test_put_get_delete(self):
+        table = self.make()
+        table.put("k", 1)
+        value, stats = table.get("k")
+        assert value == 1
+        assert stats.levels_descended == 1
+        removed, _stats = table.delete("k")
+        assert removed
+        assert table.get("k")[0] is None
+        assert len(table) == 0
+
+    def test_update_in_place(self):
+        table = self.make()
+        table.put(5, "a")
+        table.put(5, "b")
+        assert len(table) == 1
+        assert table.get(5)[0] == "b"
+
+    def test_chain_work_reported(self):
+        from repro.store import HashTable
+
+        table = HashTable(num_buckets=1)  # force one chain
+        for key in range(10):
+            table.put(key, key)
+        _value, stats = table.get(9)
+        assert stats.nodes_traversed == 10  # walked the whole chain
+
+    def test_matches_dict_reference(self):
+        import numpy as np
+
+        table = self.make()
+        reference = {}
+        rng = np.random.default_rng(4)
+        for _ in range(3000):
+            op = rng.integers(0, 3)
+            key = int(rng.integers(0, 100))
+            if op == 0:
+                value = int(rng.integers(0, 1000))
+                table.put(key, value)
+                reference[key] = value
+            elif op == 1:
+                assert table.get(key)[0] == reference.get(key)
+            else:
+                removed, _stats = table.delete(key)
+                assert removed == (key in reference)
+                reference.pop(key, None)
+        assert sorted(table.items()) == sorted(reference.items())
+        assert len(table) == len(reference)
+
+    def test_resize_preserves_contents(self):
+        table = self.make()
+        for key in range(50):
+            table.put(key, key * 2)
+        table.resize(256)
+        assert table.num_buckets == 256
+        assert len(table) == 50
+        assert table.get(33)[0] == 66
+
+    def test_validation(self):
+        from repro.store import HashTable
+
+        with pytest.raises(ValueError):
+            HashTable(num_buckets=0)
+        table = self.make()
+        with pytest.raises(ValueError):
+            table.resize(0)
+
+
+class TestTimedHashKV:
+    def test_mean_get_near_herd(self):
+        import numpy as np
+
+        from repro.store import TimedHashKV
+
+        store = TimedHashKV(num_keys=50_000, seed=1)
+        rng = RNG()
+        gets = [store.timed_get(rng) for _ in range(3_000)]
+        # Calibrated to the paper's HERD mean of 330ns.
+        assert np.mean(gets) == pytest.approx(330.0, rel=0.1)
+        assert store.expected_get_ns == pytest.approx(330.0, rel=0.1)
+
+    def test_put_works(self):
+        from repro.store import TimedHashKV
+
+        store = TimedHashKV(num_keys=1_000, seed=1)
+        assert store.timed_put(RNG()) > 0
+
+    def test_execution_driven_herd_workload(self):
+        from repro.store import TimedHashKV
+        from repro.workloads import HerdWorkload
+
+        store = TimedHashKV(num_keys=20_000, seed=1)
+        workload = HerdWorkload(store=store)
+        assert workload.mean_processing_ns == store.expected_get_ns
+        service, label = workload.sample(RNG())
+        assert service > 0
+        assert label == "rpc"
+
+    def test_validation(self):
+        from repro.store import TimedHashKV
+
+        with pytest.raises(ValueError):
+            TimedHashKV(num_keys=0)
+        with pytest.raises(ValueError):
+            TimedHashKV(num_keys=10, buckets_per_key=0.0)

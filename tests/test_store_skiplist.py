@@ -1,0 +1,161 @@
+"""Skip list: reference-model equivalence and property-based checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.store import OpStats, SkipList
+
+
+def make(seed=0):
+    return SkipList(rng=np.random.default_rng(seed))
+
+
+class TestBasics:
+    def test_empty(self):
+        skiplist = make()
+        assert len(skiplist) == 0
+        value, stats = skiplist.get(1)
+        assert value is None
+        assert isinstance(stats, OpStats)
+
+    def test_put_get(self):
+        skiplist = make()
+        skiplist.put("k", "v")
+        value, _stats = skiplist.get("k")
+        assert value == "v"
+        assert len(skiplist) == 1
+
+    def test_update_in_place(self):
+        skiplist = make()
+        skiplist.put(1, "a")
+        skiplist.put(1, "b")
+        assert len(skiplist) == 1
+        assert skiplist.get(1)[0] == "b"
+
+    def test_ordered_iteration(self):
+        skiplist = make()
+        for key in (5, 1, 9, 3, 7):
+            skiplist.put(key, str(key))
+        assert list(skiplist.keys()) == [1, 3, 5, 7, 9]
+
+    def test_delete(self):
+        skiplist = make()
+        for key in range(10):
+            skiplist.put(key, key)
+        removed, _stats = skiplist.delete(5)
+        assert removed
+        assert len(skiplist) == 9
+        assert skiplist.get(5)[0] is None
+        removed_again, _stats = skiplist.delete(5)
+        assert not removed_again
+
+    def test_scan(self):
+        skiplist = make()
+        for key in range(0, 100, 2):  # even keys
+            skiplist.put(key, key * 10)
+        items, stats = skiplist.scan(10, 5)
+        assert items == [(10, 100), (12, 120), (14, 140), (16, 160), (18, 180)]
+        assert stats.items_scanned == 5
+
+    def test_scan_from_missing_key(self):
+        skiplist = make()
+        for key in (1, 5, 9):
+            skiplist.put(key, key)
+        items, _stats = skiplist.scan(2, 10)
+        assert items == [(5, 5), (9, 9)]
+
+    def test_scan_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            make().scan(0, -1)
+
+    def test_work_scales_sublinearly(self):
+        # O(log n): work on 64k keys should be well under 2x the work
+        # on 4k keys (linear would be 16x).
+        small = make(1)
+        for key in range(4_000):
+            small.put(key, key)
+        large = make(1)
+        for key in range(64_000):
+            large.put(key, key)
+
+        def mean_hops(store, num_keys):
+            rng = np.random.default_rng(3)
+            total = 0
+            for _ in range(200):
+                _value, stats = store.get(int(rng.integers(0, num_keys)))
+                total += stats.nodes_traversed + stats.levels_descended
+            return total / 200
+
+        assert mean_hops(large, 64_000) < 2.5 * mean_hops(small, 4_000)
+
+
+class TestAgainstReferenceModel:
+    def test_mixed_workload_matches_dict(self):
+        skiplist = make(7)
+        reference = {}
+        rng = np.random.default_rng(99)
+        for _ in range(5_000):
+            op = rng.integers(0, 4)
+            key = int(rng.integers(0, 300))
+            if op == 0:
+                value = int(rng.integers(0, 10_000))
+                skiplist.put(key, value)
+                reference[key] = value
+            elif op == 1:
+                assert skiplist.get(key)[0] == reference.get(key)
+            elif op == 2:
+                removed, _stats = skiplist.delete(key)
+                assert removed == (key in reference)
+                reference.pop(key, None)
+            else:
+                count = int(rng.integers(1, 10))
+                items, _stats = skiplist.scan(key, count)
+                expected = sorted(
+                    (k, v) for k, v in reference.items() if k >= key
+                )[:count]
+                assert items == expected
+        assert len(skiplist) == len(reference)
+        assert list(skiplist.items()) == sorted(reference.items())
+
+
+@given(st.lists(st.integers(min_value=-1000, max_value=1000), max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_property_keys_always_sorted(keys):
+    skiplist = make(2)
+    for key in keys:
+        skiplist.put(key, key)
+    stored = list(skiplist.keys())
+    assert stored == sorted(set(keys))
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=100), max_size=100),
+    st.lists(st.integers(min_value=0, max_value=100), max_size=50),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_put_then_delete(puts, deletes):
+    skiplist = make(3)
+    for key in puts:
+        skiplist.put(key, key)
+    for key in deletes:
+        skiplist.delete(key)
+    expected = sorted(set(puts) - set(deletes))
+    assert list(skiplist.keys()) == expected
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=100),
+    st.integers(min_value=0, max_value=500),
+    st.integers(min_value=0, max_value=20),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_scan_matches_sorted_slice(keys, start, count):
+    skiplist = make(4)
+    for key in keys:
+        skiplist.put(key, key)
+    items, stats = skiplist.scan(start, count)
+    expected = [(k, k) for k in sorted(set(keys)) if k >= start][:count]
+    assert items == expected
+    assert stats.items_scanned == len(expected)

@@ -1,0 +1,102 @@
+"""Trace replay workload."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro import MicrobenchCosts, RpcValetSystem, SingleQueue
+from repro.workloads import TraceWorkload, load_service_trace
+
+RNG = lambda: np.random.default_rng(9)  # noqa: E731
+
+
+class TestLoader:
+    def test_load_with_labels(self):
+        csv_text = "service_ns,label\n100,get\n90000,scan\n110,get\n"
+        services, labels = load_service_trace(io.StringIO(csv_text))
+        assert services == [100.0, 90000.0, 110.0]
+        assert labels == ["get", "scan", "get"]
+
+    def test_load_without_labels(self):
+        csv_text = "service_ns\n100\n200\n"
+        services, labels = load_service_trace(io.StringIO(csv_text))
+        assert services == [100.0, 200.0]
+        assert labels is None
+
+    def test_load_from_path(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("service_ns\n42\n")
+        services, _labels = load_service_trace(path)
+        assert services == [42.0]
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError, match="column"):
+            load_service_trace(io.StringIO("duration\n1\n"))
+        with pytest.raises(ValueError, match="bad service time"):
+            load_service_trace(io.StringIO("service_ns\nfast\n"))
+        with pytest.raises(ValueError, match="negative"):
+            load_service_trace(io.StringIO("service_ns\n-5\n"))
+        with pytest.raises(ValueError, match="empty"):
+            load_service_trace(io.StringIO("service_ns\n"))
+
+
+class TestTraceWorkload:
+    def test_sequential_preserves_order_and_wraps(self):
+        workload = TraceWorkload([1.0, 2.0, 3.0])
+        rng = RNG()
+        draws = [workload.sample(rng)[0] for _ in range(7)]
+        assert draws == [1.0, 2.0, 3.0, 1.0, 2.0, 3.0, 1.0]
+        assert workload.wraps == 2
+        assert len(workload) == 3
+
+    def test_shuffle_resamples(self):
+        workload = TraceWorkload([1.0, 2.0, 3.0], mode="shuffle")
+        rng = RNG()
+        draws = {workload.sample(rng)[0] for _ in range(200)}
+        assert draws == {1.0, 2.0, 3.0}
+        assert workload.wraps == 0
+
+    def test_labels_and_slo_class(self):
+        workload = TraceWorkload(
+            [100.0, 90_000.0, 110.0], labels=["get", "scan", "get"]
+        )
+        assert workload.slo_label == "get"  # majority class
+        assert workload.slo_mean_processing_ns == pytest.approx(105.0)
+        assert workload.mean_processing_ns == pytest.approx(30_070.0)
+
+    def test_explicit_slo_label(self):
+        workload = TraceWorkload(
+            [1.0, 2.0], labels=["a", "b"], slo_label="b"
+        )
+        assert workload.slo_mean_processing_ns == 2.0
+
+    def test_from_csv(self):
+        workload = TraceWorkload.from_csv(
+            io.StringIO("service_ns,label\n500,rpc\n600,rpc\n")
+        )
+        assert workload.mean_processing_ns == pytest.approx(550.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceWorkload([])
+        with pytest.raises(ValueError):
+            TraceWorkload([-1.0])
+        with pytest.raises(ValueError):
+            TraceWorkload([1.0], labels=["a", "b"])
+        with pytest.raises(ValueError):
+            TraceWorkload([1.0], mode="random")
+
+    def test_end_to_end_on_the_simulator(self):
+        # A measured-looking trace drives the full system.
+        rng = np.random.default_rng(3)
+        services = rng.gamma(4.0, 82.5, 4_000)  # HERD-like
+        workload = TraceWorkload(services, mode="shuffle")
+        system = RpcValetSystem(
+            SingleQueue(), workload, costs=MicrobenchCosts.lean(), seed=2
+        )
+        result = system.run_point(offered_mrps=15.0, num_requests=4_000)
+        assert result.completed == 4_000
+        assert result.mean_service_ns == pytest.approx(
+            workload.mean_processing_ns + 220.0, rel=0.05
+        )

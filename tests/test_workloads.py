@@ -1,0 +1,377 @@
+"""Workloads: sampling semantics, means, and the traffic generator."""
+
+import numpy as np
+import pytest
+
+from repro.arch import Chip, ChipConfig
+from repro.balancing import SingleQueue
+from repro.dists import Exponential
+from repro.sim import Environment, RngRegistry
+from repro.workloads import (
+    DistributionWorkload,
+    HerdWorkload,
+    MasstreeWorkload,
+    MicrobenchCosts,
+    MicrobenchProgram,
+    SyntheticWorkload,
+    TrafficGenerator,
+)
+
+RNG = lambda: np.random.default_rng(21)  # noqa: E731
+
+
+class TestSyntheticWorkload:
+    def test_kinds(self):
+        for kind in ("fixed", "uniform", "exponential", "gev"):
+            workload = SyntheticWorkload(kind)
+            assert workload.mean_processing_ns == pytest.approx(600.0, rel=0.01)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            SyntheticWorkload("bursty")
+
+    def test_single_label(self):
+        workload = SyntheticWorkload("fixed")
+        service, label = workload.sample(RNG())
+        assert service == 600.0
+        assert label == "rpc"
+
+
+class TestHerdWorkload:
+    def test_mean_near_paper(self):
+        workload = HerdWorkload()
+        rng = RNG()
+        samples = [workload.sample(rng)[0] for _ in range(50_000)]
+        assert np.mean(samples) == pytest.approx(
+            workload.mean_processing_ns, rel=0.03
+        )
+        assert workload.mean_processing_ns == pytest.approx(330.0, rel=0.05)
+
+    def test_write_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            HerdWorkload(write_fraction=1.5)
+
+    def test_message_sizes(self):
+        workload = HerdWorkload()
+        assert workload.reply_size_bytes == 512  # §5's 512B reply
+
+
+class TestMasstreeWorkload:
+    def test_labels_and_fractions(self):
+        workload = MasstreeWorkload()
+        rng = RNG()
+        labels = [workload.sample(rng)[1] for _ in range(20_000)]
+        scan_fraction = labels.count("scan") / len(labels)
+        assert scan_fraction == pytest.approx(0.01, abs=0.005)
+
+    def test_scan_durations_in_band(self):
+        workload = MasstreeWorkload()
+        rng = RNG()
+        scans = []
+        while len(scans) < 50:
+            service, label = workload.sample(rng)
+            if label == "scan":
+                scans.append(service)
+        assert min(scans) >= 60_000.0
+        assert max(scans) <= 120_000.0
+
+    def test_slo_targets_gets(self):
+        workload = MasstreeWorkload()
+        assert workload.slo_label == "get"
+        assert workload.slo_mean_processing_ns == pytest.approx(1250.0)
+        # Overall mean is dominated by scans: ≈ 2.1µs.
+        assert workload.mean_processing_ns > 2000.0
+
+    def test_execution_driven_mode(self):
+        from repro.store import TimedKVStore
+
+        store = TimedKVStore(num_keys=20_000, seed=1)
+        workload = MasstreeWorkload(store=store)
+        rng = RNG()
+        service, label = workload.sample(rng)
+        assert service > 0
+        assert label in ("get", "scan")
+        assert workload.slo_mean_processing_ns == store.expected_get_ns
+
+    def test_invalid_scan_fraction(self):
+        with pytest.raises(ValueError):
+            MasstreeWorkload(scan_fraction=1.0)
+
+
+class TestDistributionWorkload:
+    def test_wraps_distribution(self):
+        workload = DistributionWorkload(Exponential(100.0), name="exp")
+        assert workload.mean_processing_ns == 100.0
+        assert workload.name == "exp"
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            DistributionWorkload(Exponential(1.0), request_size_bytes=0)
+
+
+class TestMicrobenchCosts:
+    def test_totals(self):
+        costs = MicrobenchCosts.lean()
+        assert costs.total_ns == costs.pre_ns + costs.post_ns
+        assert costs.total_ns == pytest.approx(220.0)
+
+    def test_paper_synthetic_total(self):
+        assert MicrobenchCosts.paper_synthetic().total_ns == pytest.approx(600.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MicrobenchCosts(poll_detect_ns=-1.0)
+
+    def test_program_reply_size(self):
+        program = MicrobenchProgram(MicrobenchCosts.lean(), reply_size_bytes=256)
+        assert program.reply_size_bytes(None) == 256
+        with pytest.raises(ValueError):
+            MicrobenchProgram(MicrobenchCosts.lean(), reply_size_bytes=0)
+
+
+class TestTrafficGenerator:
+    def build(self, rate_mrps=5.0, num_requests=2000, slots=32):
+        env = Environment()
+        config = ChipConfig(send_slots_per_node=slots)
+        chip = Chip(
+            env, config, MicrobenchProgram(MicrobenchCosts.lean()), RngRegistry(0)
+        )
+        SingleQueue().install(chip, RngRegistry(0).stream("dispatch"))
+        traffic = TrafficGenerator(
+            chip,
+            SyntheticWorkload("exponential"),
+            arrival_rate_rps=rate_mrps * 1e6,
+            num_requests=num_requests,
+            rngs=RngRegistry(0),
+        )
+        return chip, traffic
+
+    def test_all_requests_complete(self):
+        chip, traffic = self.build()
+        chip.env.run()
+        assert traffic.generated == 2000
+        assert chip.stats.completed == 2000
+
+    def test_arrival_rate_matches(self):
+        chip, traffic = self.build(rate_mrps=5.0, num_requests=20_000)
+        chip.env.run()
+        elapsed_ns = chip.env.now
+        rate = traffic.generated / elapsed_ns * 1e3  # MRPS
+        assert rate == pytest.approx(5.0, rel=0.05)
+
+    def test_no_stalls_below_saturation(self):
+        chip, traffic = self.build(rate_mrps=5.0)
+        chip.env.run()
+        assert traffic.stalled == 0
+        assert traffic.stall_fraction == 0.0
+
+    def test_stalls_with_one_slot_under_overload(self):
+        chip, traffic = self.build(rate_mrps=40.0, num_requests=5000, slots=1)
+        chip.env.run()
+        assert traffic.stalled > 0
+        # Flow control defers but never drops.
+        assert chip.stats.completed == 5000
+
+    def test_invalid_params(self):
+        env = Environment()
+        chip = Chip(
+            env, ChipConfig(), MicrobenchProgram(MicrobenchCosts.lean()),
+            RngRegistry(0),
+        )
+        SingleQueue().install(chip, RngRegistry(0).stream("dispatch"))
+        with pytest.raises(ValueError):
+            TrafficGenerator(
+                chip, SyntheticWorkload("fixed"), 0.0, 10, RngRegistry(0)
+            )
+        with pytest.raises(ValueError):
+            TrafficGenerator(
+                chip, SyntheticWorkload("fixed"), 1e6, 0, RngRegistry(0)
+            )
+
+
+class TestBimodalWorkload:
+    def test_mean_and_labels(self):
+        from repro.workloads import BimodalWorkload
+
+        workload = BimodalWorkload(short_ns=500.0, long_ns=5_000.0, long_fraction=0.1)
+        assert workload.mean_processing_ns == pytest.approx(950.0)
+        assert workload.slo_mean_processing_ns == 500.0
+        assert workload.mode_separation == 10.0
+        rng = RNG()
+        labels = [workload.sample(rng)[1] for _ in range(20_000)]
+        assert labels.count("long") / len(labels) == pytest.approx(0.1, abs=0.01)
+
+    def test_fixed_modes_sample_exactly(self):
+        from repro.workloads import BimodalWorkload
+
+        workload = BimodalWorkload(variability="fixed")
+        rng = RNG()
+        for _ in range(100):
+            service, label = workload.sample(rng)
+            assert service in (workload.short_ns, workload.long_ns)
+
+    def test_exponential_modes(self):
+        from repro.workloads import BimodalWorkload
+
+        workload = BimodalWorkload(variability="exponential")
+        rng = RNG()
+        samples = [workload.sample(rng)[0] for _ in range(30_000)]
+        assert np.mean(samples) == pytest.approx(
+            workload.mean_processing_ns, rel=0.05
+        )
+
+    def test_validation(self):
+        from repro.workloads import BimodalWorkload
+
+        with pytest.raises(ValueError):
+            BimodalWorkload(short_ns=1000.0, long_ns=500.0)
+        with pytest.raises(ValueError):
+            BimodalWorkload(long_fraction=0.0)
+        with pytest.raises(ValueError):
+            BimodalWorkload(variability="lognormal")
+
+
+class TestHerdZipf:
+    def test_zipf_preserves_mean(self):
+        workload = HerdWorkload(key_popularity="zipf")
+        rng = RNG()
+        samples = [workload.sample(rng)[0] for _ in range(60_000)]
+        assert np.mean(samples) == pytest.approx(
+            workload.mean_processing_ns, rel=0.03
+        )
+
+    def test_zipf_increases_variance(self):
+        rng_u, rng_z = RNG(), RNG()
+        uniform = HerdWorkload(key_popularity="uniform")
+        zipf = HerdWorkload(key_popularity="zipf")
+        u_samples = [uniform.sample(rng_u)[0] for _ in range(40_000)]
+        z_samples = [zipf.sample(rng_z)[0] for _ in range(40_000)]
+        assert np.var(z_samples) > np.var(u_samples)
+
+    def test_invalid_popularity(self):
+        with pytest.raises(ValueError):
+            HerdWorkload(key_popularity="pareto")
+
+
+class TestSourceSkew:
+    def test_skewed_sources_concentrate(self):
+        from collections import Counter
+
+        env = Environment()
+        chip = Chip(
+            env, ChipConfig(num_nodes=65),
+            MicrobenchProgram(MicrobenchCosts.lean()), RngRegistry(0),
+        )
+        SingleQueue().install(chip, RngRegistry(0).stream("dispatch"))
+        seen = Counter()
+        original = chip.submit_message
+
+        def tracking_submit(msg):
+            seen[msg.src_node] += 1
+            original(msg)
+
+        chip.submit_message = tracking_submit
+        TrafficGenerator(
+            chip, SyntheticWorkload("fixed"), 5e6, 5_000, RngRegistry(0),
+            source_skew=1.2,
+        )
+        chip.env.run()
+        counts = sorted(seen.values(), reverse=True)
+        # Rank-0 sender dominates under Zipf(1.2) over 64 senders.
+        assert counts[0] > 5 * (sum(counts) / len(counts))
+
+    def test_zero_skew_is_uniform(self):
+        env = Environment()
+        chip = Chip(
+            env, ChipConfig(num_nodes=65),
+            MicrobenchProgram(MicrobenchCosts.lean()), RngRegistry(0),
+        )
+        SingleQueue().install(chip, RngRegistry(0).stream("dispatch"))
+        traffic = TrafficGenerator(
+            chip, SyntheticWorkload("fixed"), 5e6, 100, RngRegistry(0),
+        )
+        assert traffic._source_probs is None
+
+    def test_negative_skew_rejected(self):
+        env = Environment()
+        chip = Chip(
+            env, ChipConfig(), MicrobenchProgram(MicrobenchCosts.lean()),
+            RngRegistry(0),
+        )
+        SingleQueue().install(chip, RngRegistry(0).stream("dispatch"))
+        with pytest.raises(ValueError):
+            TrafficGenerator(
+                chip, SyntheticWorkload("fixed"), 1e6, 10, RngRegistry(0),
+                source_skew=-1.0,
+            )
+
+
+class TestClosedLoopClients:
+    def build(self, num_clients=32, requests_per_client=100, think_time_ns=0.0):
+        from repro.workloads import ClosedLoopClients
+
+        env = Environment()
+        chip = Chip(
+            env, ChipConfig(), MicrobenchProgram(MicrobenchCosts.lean()),
+            RngRegistry(0),
+        )
+        SingleQueue().install(chip, RngRegistry(0).stream("dispatch"))
+        clients = ClosedLoopClients(
+            chip,
+            SyntheticWorkload("exponential"),
+            num_clients=num_clients,
+            requests_per_client=requests_per_client,
+            rngs=RngRegistry(0),
+            think_time_ns=think_time_ns,
+        )
+        return chip, clients
+
+    def test_all_requests_complete(self):
+        chip, clients = self.build()
+        chip.env.run()
+        assert chip.stats.completed == 32 * 100
+        assert clients.generated == 32 * 100
+
+    def test_self_throttling_bounds_in_flight(self):
+        # Closed loop: in-flight <= num_clients at all times, so the
+        # shared CQ can never grow beyond clients - cores.
+        chip, _clients = self.build(num_clients=40)
+        chip.env.run()
+        assert chip.dispatchers[0].max_shared_cq_depth <= 40
+
+    def test_more_clients_more_throughput_until_capacity(self):
+        throughputs = []
+        for clients in (4, 16, 64):
+            chip, _c = self.build(num_clients=clients, requests_per_client=150)
+            chip.env.run()
+            throughputs.append(chip.stats.completed / chip.env.now)
+        assert throughputs[0] < throughputs[1] < throughputs[2]
+
+    def test_think_time_reduces_throughput(self):
+        chip_eager, _ = self.build(think_time_ns=0.0)
+        chip_eager.env.run()
+        eager_rate = chip_eager.stats.completed / chip_eager.env.now
+        chip_idle, _ = self.build(think_time_ns=5_000.0)
+        chip_idle.env.run()
+        idle_rate = chip_idle.stats.completed / chip_idle.env.now
+        assert idle_rate < 0.6 * eager_rate
+
+    def test_validation(self):
+        from repro.workloads import ClosedLoopClients
+
+        env = Environment()
+        chip = Chip(
+            env, ChipConfig(), MicrobenchProgram(MicrobenchCosts.lean()),
+            RngRegistry(0),
+        )
+        SingleQueue().install(chip, RngRegistry(0).stream("dispatch"))
+        rngs = RngRegistry(0)
+        workload = SyntheticWorkload("fixed")
+        with pytest.raises(ValueError):
+            ClosedLoopClients(chip, workload, 0, 10, rngs)
+        with pytest.raises(ValueError):
+            ClosedLoopClients(chip, workload, 10, 0, rngs)
+        with pytest.raises(ValueError):
+            ClosedLoopClients(chip, workload, 10, 10, rngs, think_time_ns=-1.0)
+        with pytest.raises(ValueError, match="send slots"):
+            ClosedLoopClients(chip, workload, 10**6, 10, rngs)
