@@ -1,0 +1,92 @@
+"""Parallel sweep engine: bit-identical determinism and wall-clock speedup.
+
+The determinism check always runs: a fig7-style multi-scheme sweep must
+produce byte-for-byte identical curves at ``workers=1`` and
+``workers=4`` (see :mod:`repro.runner`'s seeding contract). The speedup
+check needs real cores and is skipped on boxes without them.
+"""
+
+import os
+import time
+
+import pytest
+
+from conftest import PROFILE
+
+from repro.core import make_system, sweep_many
+from repro.experiments.common import get_profile
+from repro.experiments.fig7 import HARDWARE_SCHEMES
+
+#: A small fixed load grid (MRPS) spanning the HERD capacity range.
+LOADS = [6.0, 12.0, 18.0, 24.0, 28.0]
+
+
+def _systems(seed: int = 0):
+    return {
+        scheme: make_system(scheme, "herd", seed=seed)
+        for scheme in HARDWARE_SCHEMES
+    }
+
+
+def _curves(sweeps):
+    """Every float of every point, for exact (not approximate) equality."""
+    return {
+        name: [
+            (point.offered_load, point.achieved_throughput,
+             point.summary.mean, point.p99)
+            for point in sweep.points
+        ]
+        for name, sweep in sweeps.items()
+    }
+
+
+def _run(workers: int, num_requests: int) -> dict:
+    return sweep_many(
+        _systems(),
+        LOADS,
+        num_requests=num_requests,
+        workers=workers,
+        experiment="bench-parallel",
+    )
+
+
+def test_parallel_bit_identical(benchmark):
+    """Serial and 4-worker execution produce exactly equal curves."""
+    num_requests = get_profile(PROFILE).arch_requests
+    serial = _curves(
+        benchmark.pedantic(_run, args=(1, num_requests), rounds=1, iterations=1)
+    )
+    parallel = _curves(_run(4, num_requests))
+    assert serial == parallel
+    for scheme in HARDWARE_SCHEMES:
+        assert len(serial[scheme]) == len(LOADS)
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="speedup needs at least 2 cores; determinism is covered above",
+)
+def test_parallel_speedup(benchmark):
+    """Fanning the fig7 sweep across 4 workers beats serial wall-clock.
+
+    ISSUE acceptance: >= 2x on a 4-core box. On 2-3 cores the bound is
+    relaxed to 'meaningfully faster' since the pool can't reach 4-wide.
+    """
+    num_requests = get_profile(PROFILE).arch_requests
+    _run(1, 500)  # warm caches/imports out of the measured runs
+
+    started = time.perf_counter()
+    _run(1, num_requests)
+    serial_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    benchmark.pedantic(_run, args=(4, num_requests), rounds=1, iterations=1)
+    parallel_s = time.perf_counter() - started
+
+    speedup = serial_s / parallel_s
+    print(f"serial {serial_s:.2f}s, 4 workers {parallel_s:.2f}s -> {speedup:.2f}x")
+    required = 2.0 if (os.cpu_count() or 1) >= 4 else 1.2
+    assert speedup >= required, (
+        f"expected >= {required}x speedup on {os.cpu_count()} cores, "
+        f"got {speedup:.2f}x"
+    )

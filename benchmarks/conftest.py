@@ -8,10 +8,17 @@ same rows/series the paper plots, and persists the rendered table under
 Profile selection: set ``REPRO_BENCH_PROFILE`` to ``smoke`` (default,
 seconds per figure), ``quick``, or ``full`` (publication-scale, used to
 produce the numbers in EXPERIMENTS.md).
+
+Every :func:`run_once` invocation also records its wall-clock seconds;
+the session writes them to ``benchmarks/output/bench_timings.json`` so
+figure-regeneration cost can be tracked across commits.
 """
 
+import json
 import os
 import pathlib
+import time
+from typing import Dict
 
 import pytest
 
@@ -19,6 +26,9 @@ import pytest
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 
 PROFILE = os.environ.get("REPRO_BENCH_PROFILE", "smoke")
+
+#: Per-driver wall-clock seconds collected by :func:`run_once`.
+_TIMINGS: Dict[str, float] = {}
 
 
 @pytest.fixture(scope="session")
@@ -43,4 +53,22 @@ def emit():
 
 def run_once(benchmark, func, **kwargs):
     """Run an experiment exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(func, kwargs=kwargs, rounds=1, iterations=1)
+    started = time.perf_counter()
+    result = benchmark.pedantic(func, kwargs=kwargs, rounds=1, iterations=1)
+    name = getattr(func, "__name__", str(func))
+    _TIMINGS[name] = round(time.perf_counter() - started, 3)
+    return result
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Persist per-figure wall-clock timings for cross-commit tracking."""
+    if not _TIMINGS:
+        return
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    payload = {
+        "profile": PROFILE,
+        "workers": os.environ.get("REPRO_WORKERS", ""),
+        "wall_clock_s": dict(sorted(_TIMINGS.items())),
+    }
+    path = OUTPUT_DIR / "bench_timings.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")

@@ -154,6 +154,8 @@ class ReceiveSlot:
 class _SlotBuffer:
     """Common slot-array behaviour with an occupancy high-water mark."""
 
+    __slots__ = ("domain", "slots", "_occupied", "max_occupied")
+
     def __init__(self, domain: MessagingDomain, slot_factory) -> None:
         self.domain = domain
         self.slots: List = [slot_factory() for _ in range(domain.total_slots)]
@@ -176,6 +178,8 @@ class _SlotBuffer:
 class SendBuffer(_SlotBuffer):
     """A node's N×S send slots, indexed by (destination node, slot)."""
 
+    __slots__ = ()
+
     def __init__(self, domain: MessagingDomain) -> None:
         super().__init__(domain, SendSlot)
 
@@ -195,6 +199,8 @@ class SendBuffer(_SlotBuffer):
 
 class ReceiveBuffer(_SlotBuffer):
     """A node's N×S receive slots, indexed by (source node, slot)."""
+
+    __slots__ = ()
 
     def __init__(self, domain: MessagingDomain) -> None:
         super().__init__(domain, ReceiveSlot)
@@ -238,6 +244,14 @@ class DynamicSlotAllocator:
     mode uses it (``slot_policy="dynamic"``); the pooled-vs-static
     footprint trade-off is measured in benchmarks/bench_extensions.py.
     """
+
+    __slots__ = (
+        "pool_size",
+        "max_msg_bytes",
+        "_free",
+        "max_in_use",
+        "failed_allocations",
+    )
 
     def __init__(self, pool_size: int, max_msg_bytes: int) -> None:
         if pool_size <= 0:

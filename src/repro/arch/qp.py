@@ -54,6 +54,8 @@ class QueuePair:
     tests assert.
     """
 
+    __slots__ = ("core_id", "wq", "cq", "max_cq_depth")
+
     def __init__(self, env: Environment, core_id: int) -> None:
         self.core_id = core_id
         self.wq: Store = Store(env)

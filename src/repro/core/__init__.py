@@ -1,7 +1,7 @@
 """Top-level public API: assemble and run RPCValet systems."""
 
 from .presets import SCHEME_NAMES, make_scheme, make_system, make_workload
-from .system import PointResult, RpcValetSystem
+from .system import PointResult, RpcValetSystem, run_point_task, sweep_many
 
 __all__ = [
     "RpcValetSystem",
@@ -10,4 +10,6 @@ __all__ = [
     "make_workload",
     "make_system",
     "SCHEME_NAMES",
+    "run_point_task",
+    "sweep_many",
 ]

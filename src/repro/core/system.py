@@ -19,12 +19,14 @@ True
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..arch import Chip, ChipConfig, DEFAULT_CONFIG
 from ..balancing import BalancingScheme
 from ..metrics import LatencySummary, SweepPoint, SweepResult
+from ..runner import map_points, spawn_point_seeds
 from ..sim import Environment, RngRegistry
 from ..workloads import (
     MicrobenchCosts,
@@ -33,7 +35,7 @@ from ..workloads import (
     TrafficGenerator,
 )
 
-__all__ = ["RpcValetSystem", "PointResult"]
+__all__ = ["RpcValetSystem", "PointResult", "run_point_task", "sweep_many"]
 
 
 @dataclass
@@ -184,15 +186,89 @@ class RpcValetSystem:
         num_requests: int = 50_000,
         warmup_fraction: float = 0.1,
         label: Optional[str] = None,
+        workers: Optional[int] = None,
+        experiment: Optional[str] = None,
+        failures: Optional[List[str]] = None,
     ) -> SweepResult:
-        """Run several load points and return the throughput/p99 curve."""
-        points = [
-            self.run_point(
-                load, num_requests=num_requests, warmup_fraction=warmup_fraction
-            ).point
-            for load in sorted(offered_mrps)
-        ]
-        return SweepResult(label=label or self.label, points=points)
+        """Run several load points and return the throughput/p99 curve.
+
+        Load points are independent tasks executed through
+        :func:`repro.runner.map_points`: serially when ``workers <= 1``
+        (the default; ``REPRO_WORKERS`` overrides), on a process pool
+        otherwise. Each point runs under its own deterministic seed
+        spawned from ``(experiment, scheme label, load index, seed)``,
+        so the curve is bit-identical for every worker count. Failed
+        points are dropped from the curve and described in ``failures``
+        (when a list is passed).
+        """
+        name = label or self.label
+        sweeps = sweep_many(
+            {name: self},
+            offered_mrps,
+            num_requests=num_requests,
+            warmup_fraction=warmup_fraction,
+            workers=workers,
+            experiment=experiment,
+            failures=failures,
+        )
+        return sweeps[name]
+
+
+def run_point_task(
+    task: Tuple["RpcValetSystem", float, int, float, int],
+) -> PointResult:
+    """Execute one (system, load) task under an explicit seed.
+
+    Module-level so it pickles into pool workers. The system is shallow-
+    copied before reseeding, leaving the caller's instance untouched.
+    """
+    system, load, num_requests, warmup_fraction, seed = task
+    system = copy.copy(system)
+    system.seed = seed
+    return system.run_point(
+        load, num_requests=num_requests, warmup_fraction=warmup_fraction
+    )
+
+
+def sweep_many(
+    systems: Mapping[str, "RpcValetSystem"],
+    offered_mrps: Sequence[float],
+    num_requests: int = 50_000,
+    warmup_fraction: float = 0.1,
+    workers: Optional[int] = None,
+    experiment: Optional[str] = None,
+    failures: Optional[List[str]] = None,
+) -> Dict[str, SweepResult]:
+    """Sweep several labelled systems over one load grid, in one fan-out.
+
+    This is the figure drivers' entry point: all (scheme, load-point)
+    tasks go through a single :func:`repro.runner.map_points` call, so a
+    pool of N workers stays busy across scheme boundaries instead of
+    draining per scheme. Per-task seeds come from
+    :func:`repro.runner.spawn_point_seeds` keyed on
+    ``(experiment, scheme label, load index, system seed)``.
+    """
+    loads = sorted(offered_mrps)
+    tasks: List[Tuple[RpcValetSystem, float, int, float, int]] = []
+    labels: List[str] = []
+    owners: List[str] = []
+    for name, system in systems.items():
+        seeds = spawn_point_seeds(experiment or name, name, system.seed, len(loads))
+        for load, seed in zip(loads, seeds):
+            tasks.append((system, load, num_requests, warmup_fraction, seed))
+            labels.append(f"{name}@{load:g}")
+            owners.append(name)
+    outcome = map_points(run_point_task, tasks, workers=workers, labels=labels)
+    points: Dict[str, List[SweepPoint]] = {name: [] for name in systems}
+    for owner, result in zip(owners, outcome.results):
+        if result is not None:
+            points[owner].append(result.point)
+    if failures is not None:
+        failures.extend(outcome.findings())
+    return {
+        name: SweepResult(label=name, points=series)
+        for name, series in points.items()
+    }
 
 
 def _warmup_cutoff(recorder, warmup_fraction: float) -> float:

@@ -12,11 +12,12 @@
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..balancing import SingleQueue
-from ..core import RpcValetSystem
+from ..core import PointResult, RpcValetSystem, run_point_task
 from ..metrics import format_table
+from ..runner import map_points
 from ..workloads import HerdWorkload, MicrobenchCosts
 from .common import ExperimentResult, get_profile
 
@@ -33,23 +34,58 @@ __all__ = [
 _PROBE_MRPS = 26.0
 
 
-def _herd_point(system: RpcValetSystem, profile: str, mrps: float = _PROBE_MRPS):
-    prof = get_profile(profile)
-    return system.run_point(offered_mrps=mrps, num_requests=prof.arch_requests)
+def _fan_points(
+    probes: Sequence[Tuple[str, RpcValetSystem, float, int]],
+    workers: Optional[int] = None,
+) -> List[PointResult]:
+    """Run labelled ``(label, system, mrps, num_requests)`` probes.
+
+    All probes fan out through one :func:`repro.runner.map_points` call.
+    Each keeps its own system's seed: ablations report *ratios* between
+    configurations, so common random numbers across probes matter more
+    than per-task stream independence. A probe that fails even after
+    the serial retry aborts the ablation — every downstream finding
+    indexes the results positionally.
+    """
+    tasks = [
+        (system, mrps, num_requests, 0.1, system.seed)
+        for _, system, mrps, num_requests in probes
+    ]
+    outcome = map_points(
+        run_point_task,
+        tasks,
+        workers=workers,
+        labels=[label for label, *_ in probes],
+    )
+    for failure in outcome.failures:
+        if failure.fatal:
+            raise RuntimeError(f"ablation probe failed: {failure.describe()}")
+    return outcome.results
 
 
-def run_outstanding_ablation(profile: str = "quick", seed: int = 0) -> ExperimentResult:
+def run_outstanding_ablation(
+    profile: str = "quick", seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
     """Threshold 1 vs 2 vs 4 on HERD at high load."""
+    prof = get_profile(profile)
     rows: List[List[object]] = []
     data: Dict[int, Dict[str, float]] = {}
-    for limit in (1, 2, 4):
-        system = RpcValetSystem(
-            scheme=SingleQueue(outstanding_limit=limit),
-            workload=HerdWorkload(),
-            costs=MicrobenchCosts.lean(),
-            seed=seed,
+    limits = (1, 2, 4)
+    probes = [
+        (
+            f"outstanding={limit}",
+            RpcValetSystem(
+                scheme=SingleQueue(outstanding_limit=limit),
+                workload=HerdWorkload(),
+                costs=MicrobenchCosts.lean(),
+                seed=seed,
+            ),
+            _PROBE_MRPS,
+            prof.arch_requests,
         )
-        res = _herd_point(system, profile)
+        for limit in limits
+    ]
+    for limit, res in zip(limits, _fan_points(probes, workers=workers)):
         data[limit] = {
             "p99_ns": res.p99,
             "mean_ns": res.point.summary.mean,
@@ -77,18 +113,29 @@ def run_outstanding_ablation(profile: str = "quick", seed: int = 0) -> Experimen
     return result
 
 
-def run_policy_ablation(profile: str = "quick", seed: int = 0) -> ExperimentResult:
+def run_policy_ablation(
+    profile: str = "quick", seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
     """Greedy (least-outstanding) vs round-robin vs random selection."""
+    prof = get_profile(profile)
     rows: List[List[object]] = []
     data: Dict[str, float] = {}
-    for policy in ("least_outstanding", "round_robin", "random"):
-        system = RpcValetSystem(
-            scheme=SingleQueue(policy=policy),
-            workload=HerdWorkload(),
-            costs=MicrobenchCosts.lean(),
-            seed=seed,
+    policies = ("least_outstanding", "round_robin", "random")
+    probes = [
+        (
+            policy,
+            RpcValetSystem(
+                scheme=SingleQueue(policy=policy),
+                workload=HerdWorkload(),
+                costs=MicrobenchCosts.lean(),
+                seed=seed,
+            ),
+            _PROBE_MRPS,
+            prof.arch_requests,
         )
-        res = _herd_point(system, profile)
+        for policy in policies
+    ]
+    for policy, res in zip(policies, _fan_points(probes, workers=workers)):
         data[policy] = res.p99
         rows.append([policy, res.point.achieved_throughput, res.p99])
     table = format_table(
@@ -110,12 +157,17 @@ def run_policy_ablation(profile: str = "quick", seed: int = 0) -> ExperimentResu
     return result
 
 
-def run_indirection_ablation(profile: str = "quick", seed: int = 0) -> ExperimentResult:
+def run_indirection_ablation(
+    profile: str = "quick", seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
     """Scale the backend→dispatcher mesh hop latency by 1x/4x/16x."""
+    prof = get_profile(profile)
     rows: List[List[object]] = []
     data: Dict[float, float] = {}
     base_hop_cycles = 3
-    for scale in (1, 4, 16):
+    scales = (1, 4, 16)
+    probes = []
+    for scale in scales:
         system = RpcValetSystem(
             scheme=SingleQueue(),
             workload=HerdWorkload(),
@@ -125,7 +177,8 @@ def run_indirection_ablation(profile: str = "quick", seed: int = 0) -> Experimen
         system.config = system.config.with_updates(
             mesh_hop_cycles=base_hop_cycles * scale
         )
-        res = _herd_point(system, profile)
+        probes.append((f"hop x{scale}", system, _PROBE_MRPS, prof.arch_requests))
+    for scale, res in zip(scales, _fan_points(probes, workers=workers)):
         data[scale] = res.p99
         rows.append(
             [f"{scale}x ({base_hop_cycles * scale} cycles/hop)",
@@ -152,11 +205,16 @@ def run_indirection_ablation(profile: str = "quick", seed: int = 0) -> Experimen
     return result
 
 
-def run_slots_ablation(profile: str = "quick", seed: int = 0) -> ExperimentResult:
+def run_slots_ablation(
+    profile: str = "quick", seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
     """Send-slot provisioning S ∈ {1, 4, 32}: flow-control backpressure."""
+    prof = get_profile(profile)
     rows: List[List[object]] = []
     data: Dict[int, Dict[str, float]] = {}
-    for slots in (1, 4, 32):
+    slot_counts = (1, 4, 32)
+    probes = []
+    for slots in slot_counts:
         system = RpcValetSystem(
             scheme=SingleQueue(),
             workload=HerdWorkload(),
@@ -164,7 +222,8 @@ def run_slots_ablation(profile: str = "quick", seed: int = 0) -> ExperimentResul
             seed=seed,
         )
         system.config = system.config.with_updates(send_slots_per_node=slots)
-        res = _herd_point(system, profile)
+        probes.append((f"S={slots}", system, _PROBE_MRPS, prof.arch_requests))
+    for slots, res in zip(slot_counts, _fan_points(probes, workers=workers)):
         data[slots] = {
             "p99_ns": res.p99,
             "stall_fraction": res.stall_fraction,
@@ -191,7 +250,9 @@ def run_slots_ablation(profile: str = "quick", seed: int = 0) -> ExperimentResul
     return result
 
 
-def run_scalability_ablation(profile: str = "quick", seed: int = 0) -> ExperimentResult:
+def run_scalability_ablation(
+    profile: str = "quick", seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
     """Single-dispatcher scalability with core count (§4.3).
 
     §4.3 argues one hardware dispatcher sustains even a 64-core chip
@@ -209,6 +270,8 @@ def run_scalability_ablation(profile: str = "quick", seed: int = 0) -> Experimen
     prof = get_profile(profile)
     rows: List[List[object]] = []
     data: Dict[int, Dict[str, float]] = {}
+    probes = []
+    offered_by_cores: Dict[int, float] = {}
     for cores, geometry in geometries.items():
         system = RpcValetSystem(
             scheme=SingleQueue(),
@@ -218,11 +281,17 @@ def run_scalability_ablation(profile: str = "quick", seed: int = 0) -> Experimen
             seed=seed,
         )
         capacity_mrps = cores / (system.expected_service_ns / 1e3)
-        offered = 0.85 * capacity_mrps
+        offered_by_cores[cores] = 0.85 * capacity_mrps
         # More cores complete the same request count faster; scale the
         # sample so that the 64-core tail is as converged as the rest.
         num_requests = prof.arch_requests * max(1, cores // 16)
-        result = system.run_point(offered_mrps=offered, num_requests=num_requests)
+        probes.append(
+            (f"{cores} cores", system, offered_by_cores[cores], num_requests)
+        )
+    results = _fan_points(probes, workers=workers)
+    for (cores, _), (label, system, offered, _), result in zip(
+        geometries.items(), probes, results
+    ):
         # Dispatcher busy fraction: decisions x decision cost / wall time.
         decisions_per_second = result.point.achieved_throughput * 1e6
         busy_fraction = decisions_per_second * system.config.dispatch_ns / 1e9
@@ -253,7 +322,9 @@ def run_scalability_ablation(profile: str = "quick", seed: int = 0) -> Experimen
     )
 
 
-def run_straggler_ablation(profile: str = "quick", seed: int = 0) -> ExperimentResult:
+def run_straggler_ablation(
+    profile: str = "quick", seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
     """§3.2's motivating scenario: a core periodically stalls.
 
     One core loses 25% of its time to periodic multi-µs stalls
@@ -275,6 +346,8 @@ def run_straggler_ablation(profile: str = "quick", seed: int = 0) -> ExperimentR
         # Every request has a 2% chance of a ~2µs stall on any core.
         ("random stalls", lambda: RandomStalls(0.02, 2_000.0)),
     )
+    probes = []
+    keys: List[str] = []
     for scheme_factory, scheme_name in (
         (Partitioned, "16x1"),
         (SingleQueue, "1x16"),
@@ -289,17 +362,17 @@ def run_straggler_ablation(profile: str = "quick", seed: int = 0) -> ExperimentR
                     interference_factory() if interference_factory else None
                 ),
             )
-            result = system.run_point(
-                offered_mrps=20.0, num_requests=prof.arch_requests
-            )
             key = f"{scheme_name}/{scenario_name}"
-            data[key] = {
-                "p99_ns": result.p99,
-                "tput_mrps": result.point.achieved_throughput,
-            }
-            rows.append(
-                [key, result.point.achieved_throughput, result.p99]
-            )
+            keys.append(key)
+            probes.append((key, system, 20.0, prof.arch_requests))
+    for key, result in zip(keys, _fan_points(probes, workers=workers)):
+        data[key] = {
+            "p99_ns": result.p99,
+            "tput_mrps": result.point.achieved_throughput,
+        }
+        rows.append(
+            [key, result.point.achieved_throughput, result.p99]
+        )
     table = format_table(
         ["scheme / scenario", "tput (MRPS)", "p99 (ns)"],
         rows,

@@ -1,7 +1,9 @@
 """Command-line driver: ``python -m repro.experiments <id> [--profile P]``.
 
 Runs one experiment (or ``all``) and prints its tables — the same
-rows/series the paper's figures plot. ``--chart`` adds monospace
+rows/series the paper's figures plot. ``--workers N`` fans each sweep's
+independent load points across N processes (bit-identical results at
+any worker count; see :mod:`repro.runner`). ``--chart`` adds monospace
 scatter plots of the sweep curves; ``--csv DIR`` writes every sweep as
 long-format CSV for external plotting.
 """
@@ -100,6 +102,17 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0, help="experiment seed")
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "fan independent load points across N worker processes "
+            "(default: REPRO_WORKERS env var, else serial); results are "
+            "bit-identical for every worker count"
+        ),
+    )
+    parser.add_argument(
         "--chart",
         action="store_true",
         help="also render the sweep curves as text scatter plots",
@@ -121,7 +134,9 @@ def main(argv=None) -> int:
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         started = time.time()
-        result = EXPERIMENTS[name](profile=args.profile, seed=args.seed)
+        result = EXPERIMENTS[name](
+            profile=args.profile, seed=args.seed, workers=args.workers
+        )
         print(result.table())
         sweeps = collect_sweeps(result.data)
         if args.chart and sweeps:

@@ -14,11 +14,18 @@ the same rows/series the paper's figure plots.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Any, Dict, List, Sequence
 
 import numpy as np
 
-__all__ = ["Profile", "PROFILES", "ExperimentResult", "load_grid"]
+__all__ = [
+    "Profile",
+    "PROFILES",
+    "ExperimentResult",
+    "load_grid",
+    "calibrate_mean_service_ns",
+]
 
 
 @dataclass(frozen=True)
@@ -77,6 +84,24 @@ def capacity_grid(capacity: float, points: int) -> List[float]:
     low_points = max(points - len(top_fractions), 1)
     fractions = list(np.linspace(0.2, 0.8, low_points)) + top_fractions
     return [fraction * capacity for fraction in fractions]
+
+
+@lru_cache(maxsize=None)
+def calibrate_mean_service_ns(
+    workload: str, scheme: str, seed: int, num_requests: int = 2_000
+) -> float:
+    """Measured S̄ for ``workload`` under ``scheme`` at light load.
+
+    Several figure drivers (Fig. 7/8/9, headline) calibrate offered-load
+    grids with an identical light-load probe run; memoizing on
+    ``(workload, scheme, seed, num_requests)`` makes repeated figures in
+    one process pay for it once. Keyed on the scheme because measured S̄
+    includes scheme-imposed dequeue overheads.
+    """
+    from ..core import make_system
+
+    system = make_system(scheme, workload, seed=seed)
+    return system.run_point(offered_mrps=1.0, num_requests=num_requests).mean_service_ns
 
 
 @dataclass

@@ -18,13 +18,14 @@ evaluate:
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from ..arch.buffers import MessagingDomain
 from ..balancing import SingleQueue
-from ..core import RpcValetSystem
+from ..core import RpcValetSystem, run_point_task
+from ..runner import map_points
 from ..dists import masstree_get, masstree_scan
 from ..metrics import format_table
 from ..queueing import (
@@ -57,7 +58,9 @@ def _masstree_services(rng: np.random.Generator, n: int):
     return np.where(is_scan, scans, gets), ~is_scan
 
 
-def run_preemption(profile: str = "quick", seed: int = 0) -> ExperimentResult:
+def run_preemption(
+    profile: str = "quick", seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
     """Quantum preemption (Shinjuku-style) on the Masstree mixture.
 
     16 servers fed from one queue (RPCValet's model); quantum swept
@@ -74,7 +77,7 @@ def run_preemption(profile: str = "quick", seed: int = 0) -> ExperimentResult:
 
     rows: List[List[object]] = []
     data: Dict[str, float] = {}
-    fifo = simulate_fifo_queue(arrivals, services, 16) - arrivals
+    fifo = simulate_fifo_queue(arrivals, services, 16, validate=False) - arrivals
     fifo_p99 = float(np.percentile(fifo[is_get][warm:], 99))
     rows.append(["run-to-completion", "-", fifo_p99 / 1e3, 0.0])
     data["run_to_completion_get_p99_us"] = fifo_p99 / 1e3
@@ -115,7 +118,9 @@ def run_preemption(profile: str = "quick", seed: int = 0) -> ExperimentResult:
     )
 
 
-def run_hedging(profile: str = "quick", seed: int = 0) -> ExperimentResult:
+def run_hedging(
+    profile: str = "quick", seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
     """Client-side duplication vs the server-side single queue (§7)."""
     prof = get_profile(profile)
     n = prof.queueing_requests
@@ -134,7 +139,7 @@ def run_hedging(profile: str = "quick", seed: int = 0) -> ExperimentResult:
             arrivals, services, 16, copies=2,
             rng=np.random.default_rng(seed + 1),
         )
-        single = simulate_fifo_queue(arrivals, services, 16) - arrivals
+        single = simulate_fifo_queue(arrivals, services, 16, validate=False) - arrivals
         row = {
             "random_p99": float(np.percentile(plain[warm:], 99)),
             "hedged_p99": float(np.percentile(hedged.sojourns[warm:], 99)),
@@ -170,13 +175,17 @@ def run_hedging(profile: str = "quick", seed: int = 0) -> ExperimentResult:
     )
 
 
-def run_dynamic_slots(profile: str = "quick", seed: int = 0) -> ExperimentResult:
+def run_dynamic_slots(
+    profile: str = "quick", seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
     """Shared-pool slot provisioning vs static N×S (§4.2 extension)."""
     prof = get_profile(profile)
     rows: List[List[object]] = []
     data: Dict[str, Dict[str, float]] = {}
 
-    def run(policy: str, pool_size=None, label: str = "") -> Dict[str, float]:
+    variants = [("static", None)] + [("dynamic", pool) for pool in (512, 128, 48)]
+    tasks = []
+    for policy, pool_size in variants:
         system = RpcValetSystem(
             SingleQueue(),
             HerdWorkload(),
@@ -185,9 +194,23 @@ def run_dynamic_slots(profile: str = "quick", seed: int = 0) -> ExperimentResult
             slot_policy=policy,
             pool_size=pool_size,
         )
-        result = system.run_point(
-            offered_mrps=26.0, num_requests=prof.arch_requests
-        )
+        tasks.append((system, 26.0, prof.arch_requests, 0.1, seed))
+    outcome = map_points(
+        run_point_task,
+        tasks,
+        workers=workers,
+        labels=[
+            "static NxS" if policy == "static" else f"dynamic pool={pool}"
+            for policy, pool in variants
+        ],
+    )
+    for (policy, pool_size), (system, *_), result in zip(
+        variants, tasks, outcome.results
+    ):
+        if result is None:
+            raise RuntimeError(
+                f"slot-provisioning probe failed: {outcome.findings()}"
+            )
         config = system.config
         if policy == "static":
             domain = MessagingDomain(
@@ -198,24 +221,20 @@ def run_dynamic_slots(profile: str = "quick", seed: int = 0) -> ExperimentResult
             footprint = domain.receive_buffer_bytes
         else:
             footprint = (config.max_msg_bytes + 64) * pool_size
-        return {
+        stats = {
             "p99_ns": result.p99,
             "tput_mrps": result.point.achieved_throughput,
             "stall_fraction": result.stall_fraction,
             "recv_footprint_mib": footprint / 2**20,
         }
-
-    static = run("static")
-    data["static"] = static
-    rows.append(
-        ["static NxS (paper)", static["recv_footprint_mib"],
-         static["tput_mrps"], static["p99_ns"], static["stall_fraction"]]
-    )
-    for pool_size in (512, 128, 48):
-        stats = run("dynamic", pool_size=pool_size)
-        data[f"dynamic_{pool_size}"] = stats
+        key = "static" if policy == "static" else f"dynamic_{pool_size}"
+        label = (
+            "static NxS (paper)" if policy == "static"
+            else f"dynamic pool={pool_size}"
+        )
+        data[key] = stats
         rows.append(
-            [f"dynamic pool={pool_size}", stats["recv_footprint_mib"],
+            [label, stats["recv_footprint_mib"],
              stats["tput_mrps"], stats["p99_ns"], stats["stall_fraction"]]
         )
     table = format_table(
@@ -236,7 +255,9 @@ def run_dynamic_slots(profile: str = "quick", seed: int = 0) -> ExperimentResult
     )
 
 
-def run_validate(profile: str = "quick", seed: int = 0) -> ExperimentResult:
+def run_validate(
+    profile: str = "quick", seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
     """Queueing-simulator self-validation against closed forms."""
     from ..queueing import run_validation
 
@@ -264,7 +285,9 @@ def run_validate(profile: str = "quick", seed: int = 0) -> ExperimentResult:
     )
 
 
-def run_cluster(profile: str = "quick", seed: int = 0) -> ExperimentResult:
+def run_cluster(
+    profile: str = "quick", seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
     """Rack-scale: K fully simulated chips, all-to-all RPCs.
 
     Beyond the paper's single-chip methodology: every node is both
@@ -319,7 +342,9 @@ def run_cluster(profile: str = "quick", seed: int = 0) -> ExperimentResult:
     )
 
 
-def run_rss_spray(profile: str = "quick", seed: int = 0) -> ExperimentResult:
+def run_rss_spray(
+    profile: str = "quick", seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
     """RSS's blind spot: skewed sender rates under per-source hashing.
 
     Real RSS hashes flow identifiers, so a sender's requests always
@@ -344,6 +369,8 @@ def run_rss_spray(profile: str = "quick", seed: int = 0) -> ExperimentResult:
         ("16x1 per-source (RSS)", Partitioned(spray="source")),
         ("1x16 (RPCValet)", SingleQueue()),
     )
+    tasks = []
+    keys: List[str] = []
     for skew in (0.0, 1.2):
         for name, scheme in configs:
             system = RpcValetSystem(
@@ -354,19 +381,21 @@ def run_rss_spray(profile: str = "quick", seed: int = 0) -> ExperimentResult:
                 seed=seed,
                 source_skew=skew,
             )
-            result = system.run_point(
-                offered_mrps=18.0, num_requests=prof.arch_requests
-            )
-            key = f"{name}/skew={skew:g}"
-            data[key] = {
-                "p99_ns": result.p99,
-                "tput_mrps": result.point.achieved_throughput,
-                "stall_fraction": result.stall_fraction,
-            }
-            rows.append(
-                [key, result.point.achieved_throughput, result.p99,
-                 result.stall_fraction]
-            )
+            keys.append(f"{name}/skew={skew:g}")
+            tasks.append((system, 18.0, prof.arch_requests, 0.1, seed))
+    outcome = map_points(run_point_task, tasks, workers=workers, labels=keys)
+    for key, result in zip(keys, outcome.results):
+        if result is None:
+            raise RuntimeError(f"RSS-spray probe failed: {outcome.findings()}")
+        data[key] = {
+            "p99_ns": result.p99,
+            "tput_mrps": result.point.achieved_throughput,
+            "stall_fraction": result.stall_fraction,
+        }
+        rows.append(
+            [key, result.point.achieved_throughput, result.p99,
+             result.stall_fraction]
+        )
     table = format_table(
         ["system / sender skew", "tput (MRPS)", "p99 (ns)", "sender stalls"],
         rows,
@@ -387,7 +416,9 @@ def run_rss_spray(profile: str = "quick", seed: int = 0) -> ExperimentResult:
     )
 
 
-def run_bursts(profile: str = "quick", seed: int = 0) -> ExperimentResult:
+def run_bursts(
+    profile: str = "quick", seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
     """Bursty (nonstationary) arrivals vs the Q×U models.
 
     The paper's arrivals are stationary Poisson. Real RPC traffic has
@@ -412,10 +443,12 @@ def run_bursts(profile: str = "quick", seed: int = 0) -> ExperimentResult:
         for queue in range(16):
             mask = spray == queue
             partitioned[mask] = (
-                simulate_fifo_queue(arrivals[mask], services[mask], 1)
+                simulate_fifo_queue(
+                    arrivals[mask], services[mask], 1, validate=False
+                )
                 - arrivals[mask]
             )
-        single = simulate_fifo_queue(arrivals, services, 16) - arrivals
+        single = simulate_fifo_queue(arrivals, services, 16, validate=False) - arrivals
         single_p99 = float(np.percentile(single[warm:], 99))
         partitioned_p99 = float(np.percentile(partitioned[warm:], 99))
         return {

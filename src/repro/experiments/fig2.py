@@ -11,7 +11,7 @@ the paper's synthetic set normalized to unit mean.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..dists import Distribution, SYNTHETIC_KINDS, Scaled, synthetic
 from ..metrics import SweepResult, sweep_table
@@ -32,16 +32,25 @@ def _loads(points: int) -> List[float]:
     return load_grid(0.1, 0.95, points)
 
 
-def run_fig2a(profile: str = "quick", seed: int = 0) -> ExperimentResult:
+def run_fig2a(
+    profile: str = "quick", seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
     """Five Q×U systems under exponential service time."""
     prof = get_profile(profile)
     service = unit_mean_service("exponential")
     loads = _loads(prof.sweep_points)
+    failures: List[str] = []
     sweeps: List[SweepResult] = []
     for num_queues, servers in PAPER_CONFIGS:
         system = QueueingSystem(num_queues, servers, service, seed=seed)
         sweeps.append(
-            system.sweep(loads, num_requests=prof.queueing_requests)
+            system.sweep(
+                loads,
+                num_requests=prof.queueing_requests,
+                workers=workers,
+                experiment="fig2a",
+                failures=failures,
+            )
         )
     result = ExperimentResult(
         "fig2a",
@@ -63,6 +72,7 @@ def run_fig2a(profile: str = "quick", seed: int = 0) -> ExperimentResult:
     result.findings.append(
         f"p99 ordering at load {loads[-1]:.2f} (best to worst): {' < '.join(ordering)}"
     )
+    result.findings.extend(failures)
     return result
 
 
@@ -72,16 +82,23 @@ def _run_distribution_panel(
     servers: int,
     profile: str,
     seed: int,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     prof = get_profile(profile)
     loads = _loads(prof.sweep_points)
+    failures: List[str] = []
     sweeps: List[SweepResult] = []
     for kind in SYNTHETIC_KINDS:
         system = QueueingSystem(
             num_queues, servers, unit_mean_service(kind), seed=seed
         )
         sweep = system.sweep(
-            loads, num_requests=prof.queueing_requests, label=kind
+            loads,
+            num_requests=prof.queueing_requests,
+            label=kind,
+            workers=workers,
+            experiment=experiment_id,
+            failures=failures,
         )
         sweeps.append(sweep)
     label = f"{num_queues}x{servers}"
@@ -105,14 +122,19 @@ def _run_distribution_panel(
     result.findings.append(
         f"p99 ordering at load {loads[mid_point]:.2f}: {' < '.join(ordering)}"
     )
+    result.findings.extend(failures)
     return result
 
 
-def run_fig2b(profile: str = "quick", seed: int = 0) -> ExperimentResult:
+def run_fig2b(
+    profile: str = "quick", seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
     """Model 1×16 under fixed/uniform/exponential/GEV service."""
-    return _run_distribution_panel("fig2b", 1, 16, profile, seed)
+    return _run_distribution_panel("fig2b", 1, 16, profile, seed, workers=workers)
 
 
-def run_fig2c(profile: str = "quick", seed: int = 0) -> ExperimentResult:
+def run_fig2c(
+    profile: str = "quick", seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
     """Model 16×1 under fixed/uniform/exponential/GEV service."""
-    return _run_distribution_panel("fig2c", 16, 1, profile, seed)
+    return _run_distribution_panel("fig2c", 16, 1, profile, seed, workers=workers)

@@ -8,7 +8,7 @@ figure's caption describes but clips).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -44,7 +44,9 @@ def distribution_moments(
     }
 
 
-def run_fig6(profile: str = "quick", seed: int = 0) -> ExperimentResult:
+def run_fig6(
+    profile: str = "quick", seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
     """Moments/percentiles of every Fig. 6 processing-time model."""
     prof = get_profile(profile)
     num_samples = prof.queueing_requests

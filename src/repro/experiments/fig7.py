@@ -14,9 +14,14 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from ..core import make_system
+from ..core import make_system, sweep_many
 from ..metrics import SweepResult, sweep_table
-from .common import ExperimentResult, capacity_grid, get_profile
+from .common import (
+    ExperimentResult,
+    calibrate_mean_service_ns,
+    capacity_grid,
+    get_profile,
+)
 
 __all__ = ["run_fig7a", "run_fig7b", "run_fig7c", "sweep_schemes"]
 
@@ -31,18 +36,28 @@ def sweep_schemes(
     num_requests: int,
     seed: int,
     warmup_fraction: float = 0.1,
+    workers: Optional[int] = None,
+    experiment: Optional[str] = None,
+    failures: Optional[List[str]] = None,
 ) -> Dict[str, SweepResult]:
-    """Sweep several schemes over the same workload and load grid."""
-    sweeps: Dict[str, SweepResult] = {}
-    for scheme in schemes:
-        system = make_system(scheme, workload, seed=seed)
-        sweeps[scheme] = system.sweep(
-            loads,
-            num_requests=num_requests,
-            warmup_fraction=warmup_fraction,
-            label=scheme,
-        )
-    return sweeps
+    """Sweep several schemes over the same workload and load grid.
+
+    All (scheme, load-point) tasks fan out through one
+    :func:`repro.core.sweep_many` call, so ``workers`` processes stay
+    busy across scheme boundaries.
+    """
+    systems = {
+        scheme: make_system(scheme, workload, seed=seed) for scheme in schemes
+    }
+    return sweep_many(
+        systems,
+        loads,
+        num_requests=num_requests,
+        warmup_fraction=warmup_fraction,
+        workers=workers,
+        experiment=experiment,
+        failures=failures,
+    )
 
 
 def _slo_findings(
@@ -71,20 +86,32 @@ def _slo_findings(
 
 
 def _mean_service_ns(workload: str, schemes: Sequence[str], seed: int) -> float:
-    """Measured S̄ from a short calibration run of the first scheme."""
-    system = make_system(schemes[0], workload, seed=seed)
-    calibration = system.run_point(offered_mrps=1.0, num_requests=2_000)
-    return calibration.mean_service_ns
+    """Measured S̄ from a short calibration run of the first scheme.
+
+    Memoized process-wide (see
+    :func:`repro.experiments.common.calibrate_mean_service_ns`).
+    """
+    return calibrate_mean_service_ns(workload, schemes[0], seed)
 
 
-def run_fig7a(profile: str = "quick", seed: int = 0) -> ExperimentResult:
+def run_fig7a(
+    profile: str = "quick", seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
     """HERD: 16×1 vs 4×4 vs 1×16, SLO = 10×S̄ (≈5.5µs)."""
     prof = get_profile(profile)
     mean_service = _mean_service_ns("herd", HARDWARE_SCHEMES, seed)
     capacity_mrps = 16.0 / (mean_service / 1e3)  # cores / S̄(µs)
     loads = capacity_grid(capacity_mrps, prof.sweep_points)
+    failures: List[str] = []
     sweeps = sweep_schemes(
-        "herd", HARDWARE_SCHEMES, loads, prof.arch_requests, seed
+        "herd",
+        HARDWARE_SCHEMES,
+        loads,
+        prof.arch_requests,
+        seed,
+        workers=workers,
+        experiment="fig7a",
+        failures=failures,
     )
     slo_ns = 10.0 * mean_service
     result = ExperimentResult(
@@ -99,12 +126,14 @@ def run_fig7a(profile: str = "quick", seed: int = 0) -> ExperimentResult:
                 title="p99 latency (ns) vs achieved throughput (MRPS)",
             )
         ],
-        findings=_slo_findings(sweeps, slo_ns),
+        findings=_slo_findings(sweeps, slo_ns) + failures,
     )
     return result
 
 
-def run_fig7b(profile: str = "quick", seed: int = 0) -> ExperimentResult:
+def run_fig7b(
+    profile: str = "quick", seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
     """Masstree: gets-only SLO of 12.5µs; relaxed comparison at 75µs."""
     prof = get_profile(profile)
     #: §6.1: "We set the SLO for Masstree at 10× the service time of the
@@ -114,10 +143,18 @@ def run_fig7b(profile: str = "quick", seed: int = 0) -> ExperimentResult:
     mean_service = _mean_service_ns("masstree", HARDWARE_SCHEMES, seed)
     capacity_mrps = 16.0 / (mean_service / 1e3)
     loads = capacity_grid(capacity_mrps, prof.sweep_points)
+    failures: List[str] = []
     sweeps = sweep_schemes(
-        "masstree", HARDWARE_SCHEMES, loads, prof.arch_requests, seed
+        "masstree",
+        HARDWARE_SCHEMES,
+        loads,
+        prof.arch_requests,
+        seed,
+        workers=workers,
+        experiment="fig7b",
+        failures=failures,
     )
-    findings = _slo_findings(sweeps, slo_ns)
+    findings = _slo_findings(sweeps, slo_ns) + failures
     relaxed = {
         label: sweep.throughput_under_slo(relaxed_slo_ns)
         for label, sweep in sweeps.items()
@@ -153,6 +190,7 @@ def run_fig7c(
     profile: str = "quick",
     seed: int = 0,
     kinds: Sequence[str] = ("fixed", "gev"),
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Synthetic fixed & GEV under the three hardware configurations."""
     prof = get_profile(profile)
@@ -166,7 +204,14 @@ def run_fig7c(
         capacity_mrps = 16.0 / (mean_service / 1e3)
         loads = capacity_grid(capacity_mrps, prof.sweep_points)
         sweeps = sweep_schemes(
-            workload, HARDWARE_SCHEMES, loads, prof.arch_requests, seed
+            workload,
+            HARDWARE_SCHEMES,
+            loads,
+            prof.arch_requests,
+            seed,
+            workers=workers,
+            experiment="fig7c",
+            failures=findings,
         )
         # Relabel to paper style: "16x1_fixed" etc.
         sweeps = {

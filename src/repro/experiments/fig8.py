@@ -10,30 +10,33 @@ four synthetic distributions.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from ..core import make_system
+from ..core import RpcValetSystem, make_system, sweep_many
 from ..dists import SYNTHETIC_KINDS
 from ..metrics import SweepResult, sweep_table
-from .common import ExperimentResult, capacity_grid, get_profile
+from .common import (
+    ExperimentResult,
+    calibrate_mean_service_ns,
+    capacity_grid,
+    get_profile,
+)
 
 __all__ = ["run_fig8"]
 
 
-def run_fig8(profile: str = "quick", seed: int = 0) -> ExperimentResult:
+def run_fig8(
+    profile: str = "quick", seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
     """All four synthetic distributions, 1×16 hardware vs software."""
     prof = get_profile(profile)
-    sweeps: Dict[str, SweepResult] = {}
     findings: List[str] = []
     ratios: Dict[str, float] = {}
     data: Dict[str, object] = {}
 
     # Calibrate S̄ / SLO once on the hardware fixed configuration; the
     # four synthetic workloads share the same mean.
-    calibration = make_system("1x16", "synthetic-fixed", seed=seed).run_point(
-        offered_mrps=1.0, num_requests=2_000
-    )
-    mean_service = calibration.mean_service_ns
+    mean_service = calibrate_mean_service_ns("synthetic-fixed", "1x16", seed)
     slo_ns = 10.0 * mean_service
     capacity_mrps = 16.0 / (mean_service / 1e3)
     # Software saturates at the MCS dequeue ceiling (~1/serialized
@@ -47,16 +50,22 @@ def run_fig8(profile: str = "quick", seed: int = 0) -> ExperimentResult:
         + [0.85 * software_ceiling_mrps, 0.95 * software_ceiling_mrps]
     )
 
+    # All 4 distributions × {hw, sw} fan out in one map_points call.
+    systems: Dict[str, RpcValetSystem] = {}
     for kind in SYNTHETIC_KINDS:
         workload = f"synthetic-{kind}"
         for scheme, suffix in (("1x16", "hw"), ("sw-1x16", "sw")):
-            system = make_system(scheme, workload, seed=seed)
-            sweep = system.sweep(
-                loads,
-                num_requests=prof.arch_requests,
-                label=f"{kind}_{suffix}",
-            )
-            sweeps[sweep.label] = sweep
+            systems[f"{kind}_{suffix}"] = make_system(scheme, workload, seed=seed)
+    sweeps = sweep_many(
+        systems,
+        loads,
+        num_requests=prof.arch_requests,
+        workers=workers,
+        experiment="fig8",
+        failures=findings,
+    )
+
+    for kind in SYNTHETIC_KINDS:
         hw_tput = sweeps[f"{kind}_hw"].throughput_under_slo(slo_ns)
         sw_tput = sweeps[f"{kind}_sw"].throughput_under_slo(slo_ns)
         if sw_tput > 0:

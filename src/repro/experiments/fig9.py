@@ -10,13 +10,18 @@ finds the implementation within 3% (fixed) to 15% (GEV) of the model.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..core import make_system
 from ..dists import SYNTHETIC_KINDS, synthetic
 from ..metrics import LatencySummary, SweepPoint, SweepResult, sweep_table
 from ..queueing import QueueingSystem, composite_service
-from .common import ExperimentResult, get_profile, load_grid
+from .common import (
+    ExperimentResult,
+    calibrate_mean_service_ns,
+    get_profile,
+    load_grid,
+)
 
 __all__ = ["run_fig9", "model_vs_simulation"]
 
@@ -25,15 +30,16 @@ def model_vs_simulation(
     kind: str,
     profile: str,
     seed: int,
+    workers: Optional[int] = None,
+    failures: Optional[List[str]] = None,
 ) -> Dict[str, object]:
     """One Fig. 9 panel: (model sweep, simulation sweep, gap stats)."""
     prof = get_profile(profile)
     workload = f"synthetic-{kind}"
     system = make_system("1x16", workload, seed=seed)
 
-    # Measure S̄ on the implementation (short calibration run).
-    calibration = system.run_point(offered_mrps=1.0, num_requests=2_000)
-    mean_service_ns = calibration.mean_service_ns
+    # Measure S̄ on the implementation (memoized calibration run).
+    mean_service_ns = calibrate_mean_service_ns(workload, "1x16", seed)
     processing = synthetic(kind)
     fixed_part_ns = mean_service_ns - processing.mean
     if fixed_part_ns < 0:
@@ -41,7 +47,7 @@ def model_vs_simulation(
             f"measured S̄ ({mean_service_ns:.0f}ns) below processing mean"
         )
 
-    utilizations = load_grid(0.2, 0.95, prof.sweep_points)
+    utilizations = sorted(load_grid(0.2, 0.95, prof.sweep_points))
     capacity_mrps = 16.0 / (mean_service_ns / 1e3)
 
     # --- model side: theoretical 1x16 with composite service ---------------
@@ -51,15 +57,27 @@ def model_vs_simulation(
         utilizations,
         num_requests=prof.queueing_requests,
         label=f"model_{kind}",
+        workers=workers,
+        experiment="fig9",
+        failures=failures,
     )
 
     # --- implementation side: arch sim at matching utilizations -----------
+    raw_sweep = system.sweep(
+        [utilization * capacity_mrps for utilization in utilizations],
+        num_requests=prof.arch_requests,
+        label=f"sim_{kind}",
+        workers=workers,
+        experiment="fig9",
+        failures=failures,
+    )
+    # Renormalize the raw MRPS points onto Fig. 9's axes: utilization on
+    # x, throughput as a capacity fraction, latency in multiples of S̄.
     sim_points: List[SweepPoint] = []
-    for utilization in sorted(utilizations):
-        point = system.run_point(
-            offered_mrps=utilization * capacity_mrps,
-            num_requests=prof.arch_requests,
-        ).point
+    for point in raw_sweep.points:
+        # Recover the utilization from the point itself so dropped
+        # (failed) points can't shift the x-axis labels.
+        utilization = point.offered_load / capacity_mrps
         normalized = point.summary.scaled(1.0 / mean_service_ns)
         sim_points.append(
             SweepPoint(
@@ -85,13 +103,15 @@ def model_vs_simulation(
     }
 
 
-def run_fig9(profile: str = "quick", seed: int = 0) -> ExperimentResult:
+def run_fig9(
+    profile: str = "quick", seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
     """All four panels of Fig. 9."""
     tables = []
     findings: List[str] = []
     data: Dict[str, object] = {}
     for kind in SYNTHETIC_KINDS:
-        panel = model_vs_simulation(kind, profile, seed)
+        panel = model_vs_simulation(kind, profile, seed, workers=workers, failures=findings)
         data[kind] = panel
         tables.append(
             sweep_table(

@@ -9,7 +9,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..metrics import format_table
 from .common import ExperimentResult, get_profile
@@ -20,13 +20,15 @@ from .fig9 import model_vs_simulation
 __all__ = ["run_headline"]
 
 
-def run_headline(profile: str = "quick", seed: int = 0) -> ExperimentResult:
+def run_headline(
+    profile: str = "quick", seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
     """Measure each headline claim and report paper-vs-measured."""
     rows: List[List[object]] = []
     data: Dict[str, float] = {}
 
     # -- claim 1: up to 1.4x over 16x1 under SLO (GEV is the paper's max).
-    fig7c = run_fig7c(profile, seed, kinds=("fixed", "gev"))
+    fig7c = run_fig7c(profile, seed, kinds=("fixed", "gev"), workers=workers)
     for kind in ("fixed", "gev"):
         sweeps = fig7c.data["sweeps"][kind]
         slo_ns = fig7c.data[f"slo_ns_{kind}"]
@@ -59,7 +61,7 @@ def run_headline(profile: str = "quick", seed: int = 0) -> ExperimentResult:
     )
 
     # -- claim 3: 2.3-2.7x over software.
-    fig8 = run_fig8(profile, seed)
+    fig8 = run_fig8(profile, seed, workers=workers)
     ratios = fig8.data["ratios"]
     finite = [ratio for ratio in ratios.values() if ratio != float("inf")]
     if finite:
@@ -72,7 +74,7 @@ def run_headline(profile: str = "quick", seed: int = 0) -> ExperimentResult:
     # -- claim 4: within 3-15% of the theoretical model.
     gaps = {}
     for kind in ("fixed", "gev"):
-        panel = model_vs_simulation(kind, profile, seed)
+        panel = model_vs_simulation(kind, profile, seed, workers=workers)
         gaps[kind] = panel["worst_gap"]
     data["model_gap_fixed"] = gaps["fixed"]
     data["model_gap_gev"] = gaps["gev"]

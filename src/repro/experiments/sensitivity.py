@@ -12,11 +12,12 @@ paper's measured values) is itself a result.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..balancing import SingleQueue
-from ..core import RpcValetSystem
+from ..core import RpcValetSystem, run_point_task
 from ..metrics import format_table
+from ..runner import map_points
 from ..workloads import HerdWorkload, MicrobenchCosts
 from .common import ExperimentResult, get_profile
 
@@ -51,44 +52,55 @@ def _build_system(seed: int, config_overrides=None, cost_overrides=None):
     return system
 
 
-def run_sensitivity(profile: str = "quick", seed: int = 0) -> ExperimentResult:
+def run_sensitivity(
+    profile: str = "quick", seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
     """Halve/double each latency constant; rank p99 impact."""
     prof = get_profile(profile)
-
-    def measure(config_overrides=None, cost_overrides=None) -> float:
-        system = _build_system(seed, config_overrides, cost_overrides)
-        return system.run_point(
-            offered_mrps=_PROBE_MRPS, num_requests=prof.arch_requests
-        ).p99
-
-    baseline_p99 = measure()
-    entries: List[Dict[str, object]] = []
     base_config = _build_system(seed).config
     base_costs = MicrobenchCosts.lean()
+
+    # Baseline + 7 params x {x0.5, x2}: 15 independent probes, all
+    # sharing the experiment seed (common random numbers — the table
+    # reports swings against the baseline) and one map_points fan-out.
+    tasks = [(_build_system(seed), _PROBE_MRPS, prof.arch_requests, 0.1, seed)]
+    labels = ["baseline"]
+    plan: List[Dict[str, object]] = []
     for name, where in SENSITIVITY_PARAMS:
         base_value = getattr(
             base_config if where == "config" else base_costs, name
         )
-        results = {}
+        plan.append({"param": name, "base": base_value})
         for factor in (0.5, 2.0):
             value = base_value * factor
             if name == "mesh_hop_cycles":
                 value = max(1, int(round(value)))
             overrides = {name: value}
-            p99 = measure(
+            system = _build_system(
+                seed,
                 config_overrides=overrides if where == "config" else None,
                 cost_overrides=overrides if where == "costs" else None,
             )
-            results[factor] = p99
+            tasks.append((system, _PROBE_MRPS, prof.arch_requests, 0.1, seed))
+            labels.append(f"{name} x{factor:g}")
+
+    outcome = map_points(run_point_task, tasks, workers=workers, labels=labels)
+    if not outcome.ok:
+        raise RuntimeError(f"sensitivity probe failed: {outcome.findings()}")
+    p99s = [result.p99 for result in outcome.results]
+    baseline_p99 = p99s[0]
+    entries: List[Dict[str, object]] = []
+    for index, item in enumerate(plan):
+        half_p99, double_p99 = p99s[1 + 2 * index], p99s[2 + 2 * index]
         swing = max(
-            abs(results[0.5] - baseline_p99), abs(results[2.0] - baseline_p99)
+            abs(half_p99 - baseline_p99), abs(double_p99 - baseline_p99)
         )
         entries.append(
             {
-                "param": name,
-                "base": base_value,
-                "half_p99": results[0.5],
-                "double_p99": results[2.0],
+                "param": item["param"],
+                "base": item["base"],
+                "half_p99": half_p99,
+                "double_p99": double_p99,
                 "swing_ns": swing,
             }
         )

@@ -12,17 +12,18 @@ component D. :func:`composite_service` builds that.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..dists import Distribution, Fixed, Shifted
 from ..metrics import LatencySummary, SweepPoint, SweepResult
+from ..runner import map_points, spawn_point_seeds
 from ..sim import RngRegistry
 from .fastsim import poisson_arrivals, sojourn_times
 
-__all__ = ["QueueingSystem", "composite_service", "PAPER_CONFIGS"]
+__all__ = ["QueueingSystem", "composite_service", "PAPER_CONFIGS", "run_queueing_task"]
 
 #: The five configurations of Fig. 2a, as (num_queues, servers_per_queue).
 PAPER_CONFIGS = ((1, 16), (2, 8), (4, 4), (8, 2), (16, 1))
@@ -123,6 +124,10 @@ class QueueingSystem:
                     services[mask],
                     self.servers_per_queue,
                     warmup_fraction=warmup_fraction,
+                    # Arrivals are a cumsum of non-negative gaps and
+                    # services come straight from the distributions:
+                    # skip fastsim's O(n) input validation on this hot path.
+                    validate=False,
                 )
             )
         sojourns = (
@@ -143,10 +148,50 @@ class QueueingSystem:
         num_requests: int = 200_000,
         warmup_fraction: float = 0.1,
         label: Optional[str] = None,
+        workers: Optional[int] = None,
+        experiment: Optional[str] = None,
+        failures: Optional[List[str]] = None,
     ) -> SweepResult:
-        """Run :meth:`run` across ``loads`` and collect a curve."""
-        points = [
-            self.run(load, num_requests=num_requests, warmup_fraction=warmup_fraction)
-            for load in sorted(loads)
+        """Run :meth:`run` across ``loads`` and collect a curve.
+
+        Load points fan out through :func:`repro.runner.map_points`
+        (serial when ``workers <= 1``), each under a deterministic seed
+        spawned from ``(experiment, label, load index, seed)`` — the
+        curve is bit-identical for every worker count. Failed points
+        are dropped and described in ``failures`` when a list is given.
+        """
+        name = label or self.label
+        sorted_loads = sorted(loads)
+        seeds = spawn_point_seeds(
+            experiment or name, name, self.seed, len(sorted_loads)
+        )
+        tasks = [
+            (self, load, num_requests, warmup_fraction, seed)
+            for load, seed in zip(sorted_loads, seeds)
         ]
-        return SweepResult(label=label or self.label, points=points)
+        outcome = map_points(
+            run_queueing_task,
+            tasks,
+            workers=workers,
+            labels=[f"{name}@{load:g}" for load in sorted_loads],
+        )
+        if failures is not None:
+            failures.extend(outcome.findings())
+        return SweepResult(
+            label=name,
+            points=[point for point in outcome.results if point is not None],
+        )
+
+
+def run_queueing_task(
+    task: Tuple["QueueingSystem", float, int, float, int],
+) -> SweepPoint:
+    """Execute one (system, load) queueing task under an explicit seed.
+
+    Module-level so it pickles into pool workers; the frozen system is
+    rebuilt with the task's seed via :func:`dataclasses.replace`.
+    """
+    system, load, num_requests, warmup_fraction, seed = task
+    return replace(system, seed=seed).run(
+        load, num_requests=num_requests, warmup_fraction=warmup_fraction
+    )

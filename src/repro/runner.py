@@ -1,0 +1,251 @@
+"""Parallel sweep execution engine with deterministic per-task seeding.
+
+Every figure in the reproduction is a load sweep: dozens of independent
+(scheme, load-point) simulations. This module fans those tasks out
+across a process pool while guaranteeing that **results are bit-identical
+regardless of worker count** — including the serial fallback — so
+parallelism is purely a wall-clock optimization, never a source of
+noise between runs.
+
+Determinism contract
+--------------------
+Each task owns a private RNG seed derived with
+:class:`numpy.random.SeedSequence` spawning, keyed on
+``(experiment, scheme, load index, experiment seed)``:
+
+* the root sequence's entropy is ``(seed, hash(experiment), hash(scheme))``;
+* the per-load-point child is ``root.spawn(n)[load_index]``.
+
+SeedSequence spawning guarantees the children are statistically
+independent and collision-free across keys (tested in
+``tests/test_runner.py``), and the derivation depends only on the key —
+not on scheduling order, worker count, or which process runs the task.
+
+Worker-count control
+--------------------
+``map_points(..., workers=N)`` runs serially when ``N <= 1`` (the
+default — keeps pdb/profilers usable in tests) and on a
+``ProcessPoolExecutor`` otherwise. When ``workers`` is ``None`` the
+``REPRO_WORKERS`` environment variable decides; the experiments CLI
+exposes ``--workers``.
+
+Graceful degradation
+--------------------
+A task that raises inside a worker is retried once serially; if the
+retry also fails, the task's slot is ``None`` and the failure is
+reported through :meth:`MapOutcome.findings` (figure drivers surface
+these in ``ExperimentResult.findings``) instead of killing the sweep.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ENV_WORKERS",
+    "MapOutcome",
+    "TaskFailure",
+    "map_points",
+    "resolve_workers",
+    "spawn_point_seeds",
+    "task_seed",
+]
+
+#: Environment variable consulted when ``workers`` is not given.
+ENV_WORKERS = "REPRO_WORKERS"
+
+
+def _key_hash(key: object) -> int:
+    """Stable 64-bit integer from an arbitrary key (seed entropy word)."""
+    digest = hashlib.sha256(repr(key).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def spawn_point_seeds(
+    experiment: object, scheme: object, seed: int, num_points: int
+) -> List[int]:
+    """Per-load-point seeds for one (experiment, scheme, seed) sweep.
+
+    The root :class:`numpy.random.SeedSequence` is keyed on the
+    experiment id, the scheme label, and the experiment seed; one child
+    is spawned per load point. The result depends only on the key, so
+    serial and parallel execution (any worker count) see identical
+    streams, while distinct (experiment, scheme, load index) tuples
+    never share one.
+    """
+    if num_points < 0:
+        raise ValueError(f"num_points must be non-negative, got {num_points!r}")
+    root = np.random.SeedSequence(
+        entropy=(int(seed), _key_hash(experiment), _key_hash(scheme))
+    )
+    return [
+        int(child.generate_state(1, np.uint64)[0])
+        for child in root.spawn(num_points)
+    ]
+
+
+def task_seed(experiment: object, scheme: object, load_index: int, seed: int) -> int:
+    """The seed of one (experiment, scheme, load index, seed) task."""
+    if load_index < 0:
+        raise ValueError(f"load_index must be non-negative, got {load_index!r}")
+    return spawn_point_seeds(experiment, scheme, seed, load_index + 1)[load_index]
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Effective worker count: explicit value, else ``REPRO_WORKERS``, else 1.
+
+    Anything ``<= 1`` (or unparsable) means serial execution.
+    """
+    if workers is None:
+        raw = os.environ.get(ENV_WORKERS, "")
+        try:
+            workers = int(raw)
+        except ValueError:
+            workers = 1
+    return max(1, int(workers))
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """One task that raised (possibly twice: in a worker and on retry)."""
+
+    label: str
+    error: str
+    #: True when a serial retry was attempted after a worker failure.
+    retried: bool
+    #: True when the retry (or serial first attempt) also failed, so the
+    #: task produced no result.
+    fatal: bool
+
+    def describe(self) -> str:
+        if not self.fatal:
+            return (
+                f"task {self.label} failed in a worker ({self.error}); "
+                "serial retry succeeded"
+            )
+        attempt = "after serial retry" if self.retried else "serially"
+        return f"task {self.label} failed {attempt}: {self.error}; point dropped"
+
+
+@dataclass
+class MapOutcome:
+    """Results of one :func:`map_points` call, in task order.
+
+    ``results[i]`` is ``None`` when task *i* failed both attempts.
+    """
+
+    results: List[Any]
+    failures: List[TaskFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not any(failure.fatal for failure in self.failures)
+
+    def findings(self) -> List[str]:
+        """Human-readable failure lines for ``ExperimentResult.findings``."""
+        return [failure.describe() for failure in self.failures]
+
+
+def _task_label(labels: Optional[Sequence[str]], index: int) -> str:
+    if labels is not None and index < len(labels):
+        return str(labels[index])
+    return f"task[{index}]"
+
+
+def _map_serial(
+    fn: Callable[[Any], Any],
+    tasks: Sequence[Any],
+    labels: Optional[Sequence[str]],
+) -> MapOutcome:
+    outcome = MapOutcome(results=[None] * len(tasks))
+    for index, task in enumerate(tasks):
+        try:
+            outcome.results[index] = fn(task)
+        except Exception as exc:  # noqa: BLE001 - reported, not silenced
+            outcome.failures.append(
+                TaskFailure(
+                    label=_task_label(labels, index),
+                    error=f"{type(exc).__name__}: {exc}",
+                    retried=False,
+                    fatal=True,
+                )
+            )
+    return outcome
+
+
+def map_points(
+    fn: Callable[[Any], Any],
+    tasks: Sequence[Any],
+    workers: Optional[int] = None,
+    labels: Optional[Sequence[str]] = None,
+) -> MapOutcome:
+    """Run ``fn`` over ``tasks``, serially or on a process pool.
+
+    Parameters
+    ----------
+    fn:
+        A module-level (picklable) callable of one task.
+    tasks:
+        Picklable task descriptions. Each task must be self-contained —
+        in particular it must carry its own RNG seed (see
+        :func:`spawn_point_seeds`) so the result does not depend on
+        which process runs it.
+    workers:
+        Worker count; ``None`` consults ``REPRO_WORKERS``. ``<= 1``
+        runs serially in-process.
+    labels:
+        Optional per-task labels used in failure reports.
+
+    Returns
+    -------
+    MapOutcome
+        Results in task order (``None`` for tasks that failed twice)
+        plus structured failure records.
+    """
+    tasks = list(tasks)
+    count = resolve_workers(workers)
+    if count <= 1 or len(tasks) <= 1:
+        return _map_serial(fn, tasks, labels)
+
+    try:
+        executor = ProcessPoolExecutor(max_workers=min(count, len(tasks)))
+    except (OSError, ValueError):  # no usable multiprocessing: degrade
+        return _map_serial(fn, tasks, labels)
+
+    outcome = MapOutcome(results=[None] * len(tasks))
+    with executor:
+        futures = [executor.submit(fn, task) for task in tasks]
+        for index, future in enumerate(futures):
+            try:
+                outcome.results[index] = future.result()
+                continue
+            except Exception as exc:  # noqa: BLE001 - worker died or task raised
+                worker_error = f"{type(exc).__name__}: {exc}"
+            # Graceful degradation: retry the failed task once, serially.
+            try:
+                outcome.results[index] = fn(tasks[index])
+            except Exception as exc:  # noqa: BLE001
+                outcome.failures.append(
+                    TaskFailure(
+                        label=_task_label(labels, index),
+                        error=f"{type(exc).__name__}: {exc}",
+                        retried=True,
+                        fatal=True,
+                    )
+                )
+            else:
+                outcome.failures.append(
+                    TaskFailure(
+                        label=_task_label(labels, index),
+                        error=worker_error,
+                        retried=True,
+                        fatal=False,
+                    )
+                )
+    return outcome

@@ -10,7 +10,7 @@ is unit-agnostic.
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from itertools import count
 from typing import Any, Generator, List, Optional, Tuple
 
@@ -35,6 +35,8 @@ class Environment:
     initial_time:
         Starting value of the simulation clock.
     """
+
+    __slots__ = ("_now", "_queue", "_eid", "_active_process")
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
@@ -84,7 +86,7 @@ class Environment:
 
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = _NORMAL) -> None:
         """Queue ``event`` to be processed ``delay`` units from now."""
-        heapq.heappush(
+        heappush(
             self._queue, (self._now + delay, priority, next(self._eid), event)
         )
 
@@ -95,13 +97,16 @@ class Environment:
     def step(self) -> None:
         """Process the next scheduled event.
 
+        The body is duplicated inside :meth:`run`'s hot loop; keep the
+        two in sync.
+
         Raises
         ------
         EmptySchedule
             If no events are scheduled.
         """
         try:
-            when, _prio, _eid, event = heapq.heappop(self._queue)
+            when, _prio, _eid, event = heappop(self._queue)
         except IndexError:
             raise EmptySchedule() from None
         self._now = when
@@ -147,18 +152,47 @@ class Environment:
                 )
             done = []
 
+        # Hot loops: the body of :meth:`step` is inlined with the heap
+        # and heappop bound to locals — the per-event call/lookup
+        # overhead is measurable at ~10 kernel events per simulated RPC.
+        queue = self._queue
+        pop = heappop
+        if stop_event is None and stop_at == float("inf"):
+            # run() with no ``until`` — the arch simulator's only mode:
+            # drain the schedule with no stop checks per event.
+            while queue:
+                when, _prio, _eid, event = pop(queue)
+                self._now = when
+                callbacks = event.callbacks
+                event.callbacks = None  # marks the event as processed
+                event._processed = True
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    # A failure nobody handled: surface it, don't drop it.
+                    raise event._value
+            return None
         while True:
             if stop_event is not None and stop_event.processed:
                 if stop_event.ok:
                     return stop_event.value
                 raise stop_event.value
-            if not self._queue:
+            if not queue:
                 if stop_event is not None:
                     raise RuntimeError(
                         "simulation ended before the awaited event fired"
                     )
                 return None
-            if self._queue[0][0] > stop_at:
+            if queue[0][0] > stop_at:
                 self._now = stop_at
                 return None
-            self.step()
+            when, _prio, _eid, event = pop(queue)
+            self._now = when
+            callbacks = event.callbacks
+            event.callbacks = None  # marks the event as processed
+            event._processed = True
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event._defused:
+                # A failure nobody handled: surface it, don't drop it.
+                raise event._value

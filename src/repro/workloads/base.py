@@ -9,7 +9,7 @@ which drive packetization at the NI.
 from __future__ import annotations
 
 import abc
-from typing import Tuple
+from typing import List, Tuple
 
 import numpy as np
 
@@ -35,6 +35,27 @@ class RpcWorkload(abc.ABC):
     @abc.abstractmethod
     def sample(self, rng: np.random.Generator) -> Tuple[float, str]:
         """Draw one request: ``(processing_time_ns, label)``."""
+
+    def sample_batch(
+        self, rng: np.random.Generator, n: int
+    ) -> Tuple[np.ndarray, List[str]]:
+        """Draw ``n`` requests at once: ``(times_ns, labels)``.
+
+        The traffic generator pre-draws every request through this hook
+        so hot workloads pay one vectorized Generator call instead of
+        one per request. The default falls back to ``n`` scalar
+        :meth:`sample` calls (identical stream consumption); vectorized
+        overrides may consume the stream differently but stay
+        deterministic for a fixed seed.
+        """
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n!r}")
+        times = np.empty(n)
+        labels: List[str] = []
+        for index in range(n):
+            times[index], label = self.sample(rng)
+            labels.append(label)
+        return times, labels
 
     @property
     @abc.abstractmethod
@@ -70,6 +91,13 @@ class DistributionWorkload(RpcWorkload):
 
     def sample(self, rng: np.random.Generator) -> Tuple[float, str]:
         return self.distribution.sample(rng), "rpc"
+
+    def sample_batch(
+        self, rng: np.random.Generator, n: int
+    ) -> Tuple[np.ndarray, List[str]]:
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n!r}")
+        return self.distribution.sample_array(rng, n), ["rpc"] * n
 
     @property
     def mean_processing_ns(self) -> float:

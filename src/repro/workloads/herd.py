@@ -10,7 +10,7 @@ like the paper — the SLO covers all requests.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import List, Tuple
 
 import numpy as np
 
@@ -86,6 +86,26 @@ class HerdWorkload(RpcWorkload):
         if rng.uniform() < self.write_fraction:
             return base * self._write_scale, "rpc"
         return base, "rpc"
+
+    def sample_batch(
+        self, rng: np.random.Generator, n: int
+    ) -> Tuple[np.ndarray, List[str]]:
+        """Vectorized draw: 2-3 Generator calls instead of 2-3 per request.
+
+        Execution-driven mode (``store`` set) runs real data-structure
+        operations per request and falls back to the scalar path.
+        """
+        if self.store is not None:
+            return super().sample_batch(rng, n)
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n!r}")
+        times = self._dist.sample_array(rng, n)
+        if self.key_popularity == "zipf":
+            hot = rng.uniform(size=n) < self._hot_probability
+            times = times * np.where(hot, self._hot_scale, self._cold_scale)
+        writes = rng.uniform(size=n) < self.write_fraction
+        times = times * np.where(writes, self._write_scale, 1.0)
+        return times, ["rpc"] * n
 
     @property
     def mean_processing_ns(self) -> float:

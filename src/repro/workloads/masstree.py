@@ -18,7 +18,7 @@ Two modes:
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -62,6 +62,25 @@ class MasstreeWorkload(RpcWorkload):
         if is_scan:
             return self._scan_dist.sample(rng), "scan"
         return self._get_dist.sample(rng), "get"
+
+    def sample_batch(
+        self, rng: np.random.Generator, n: int
+    ) -> Tuple[np.ndarray, List[str]]:
+        """Vectorized draw: 3 Generator calls instead of 2 per request.
+
+        Execution-driven mode (``store`` set) runs real data-structure
+        operations per request and falls back to the scalar path.
+        """
+        if self.store is not None:
+            return super().sample_batch(rng, n)
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n!r}")
+        is_scan = rng.uniform(size=n) < self.scan_fraction
+        gets = self._get_dist.sample_array(rng, n)
+        scans = self._scan_dist.sample_array(rng, n)
+        times = np.where(is_scan, scans, gets)
+        labels = ["scan" if scan else "get" for scan in is_scan]
+        return times, labels
 
     @property
     def mean_processing_ns(self) -> float:

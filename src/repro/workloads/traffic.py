@@ -209,17 +209,29 @@ class TrafficGenerator:
         env = self.chip.env
         mean_gap_ns = 1e9 / self.arrival_rate_rps
         num_remote = self.chip.config.num_remote_nodes
-        for msg_id in range(self.num_requests):
-            yield env.timeout(self._arrival_rng.exponential(mean_gap_ns))
-            if self._source_probs is not None:
-                src = int(
-                    self._source_rng.choice(num_remote, p=self._source_probs)
-                )
-            else:
-                src = int(self._source_rng.integers(0, num_remote))
-            service_ns, label = self.workload.sample(self._service_rng)
+        n = self.num_requests
+        # Pre-draw every request in one vectorized call per stream
+        # instead of 3+ scalar Generator calls per request — the
+        # arch-simulator hot path. Arrivals, sources, and services are
+        # separate named streams, so batching each stream consumes its
+        # bitstream exactly like the former per-request scalar draws.
+        gaps = self._arrival_rng.exponential(mean_gap_ns, size=n)
+        if self._source_probs is not None:
+            sources = self._source_rng.choice(
+                num_remote, size=n, p=self._source_probs
+            )
+        else:
+            sources = self._source_rng.integers(0, num_remote, size=n)
+        services, labels = self.workload.sample_batch(self._service_rng, n)
+        timeout = env.timeout
+        static = self.slot_policy == "static"
+        for msg_id in range(n):
+            yield timeout(float(gaps[msg_id]))
+            src = int(sources[msg_id])
+            service_ns = float(services[msg_id])
+            label = labels[msg_id]
             self.generated += 1
-            if self.slot_policy == "static":
+            if static:
                 free = self._free_slots[src]
                 if free:
                     self._send_static(msg_id, src, free.pop(), service_ns, label)

@@ -1,0 +1,221 @@
+"""The parallel sweep engine: seeding, worker mapping, degradation.
+
+The load-bearing guarantee is that worker count is invisible in the
+results — ``workers=4`` must reproduce ``workers=1`` bit for bit — so
+parallelism can never be a source of run-to-run noise.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import make_system, sweep_many
+from repro.runner import (
+    ENV_WORKERS,
+    MapOutcome,
+    TaskFailure,
+    map_points,
+    resolve_workers,
+    spawn_point_seeds,
+    task_seed,
+)
+
+# -- seeding ------------------------------------------------------------------
+
+_keys = st.tuples(
+    st.text(max_size=12),  # experiment
+    st.text(max_size=12),  # scheme
+    st.integers(min_value=0, max_value=63),  # load index
+    st.integers(min_value=0, max_value=2**31 - 1),  # experiment seed
+)
+
+
+def test_spawn_point_seeds_deterministic():
+    first = spawn_point_seeds("fig7a", "d-RPCValet", 42, 8)
+    second = spawn_point_seeds("fig7a", "d-RPCValet", 42, 8)
+    assert first == second
+    assert len(first) == 8
+    assert len(set(first)) == 8
+
+
+def test_spawn_point_seeds_prefix_stable():
+    """Adding load points must not reseed the existing ones."""
+    short = spawn_point_seeds("fig8", "1x16", 0, 3)
+    long = spawn_point_seeds("fig8", "1x16", 0, 11)
+    assert long[:3] == short
+
+
+def test_task_seed_matches_spawn():
+    seeds = spawn_point_seeds("fig7c", "16x1", 7, 5)
+    assert [task_seed("fig7c", "16x1", i, 7) for i in range(5)] == seeds
+
+
+def test_spawn_point_seeds_rejects_negative():
+    with pytest.raises(ValueError):
+        spawn_point_seeds("x", "y", 0, -1)
+    with pytest.raises(ValueError):
+        task_seed("x", "y", -1, 0)
+
+
+@given(st.lists(_keys, min_size=2, max_size=24, unique=True))
+@settings(max_examples=200, deadline=None)
+def test_distinct_keys_never_share_a_seed(keys):
+    seeds = [
+        task_seed(experiment, scheme, index, seed)
+        for experiment, scheme, index, seed in keys
+    ]
+    assert len(set(seeds)) == len(seeds)
+
+
+@given(_keys)
+@settings(max_examples=100, deadline=None)
+def test_any_key_component_changes_the_seed(key):
+    experiment, scheme, index, seed = key
+    base = task_seed(experiment, scheme, index, seed)
+    assert base != task_seed(experiment + "!", scheme, index, seed)
+    assert base != task_seed(experiment, scheme + "!", index, seed)
+    assert base != task_seed(experiment, scheme, index + 1, seed)
+    assert base != task_seed(experiment, scheme, index, seed + 1)
+
+
+# -- resolve_workers ----------------------------------------------------------
+
+def test_resolve_workers_explicit():
+    assert resolve_workers(4) == 4
+    assert resolve_workers(1) == 1
+    assert resolve_workers(0) == 1
+    assert resolve_workers(-3) == 1
+
+
+def test_resolve_workers_env(monkeypatch):
+    monkeypatch.setenv(ENV_WORKERS, "6")
+    assert resolve_workers(None) == 6
+    monkeypatch.setenv(ENV_WORKERS, "not-a-number")
+    assert resolve_workers(None) == 1
+    monkeypatch.delenv(ENV_WORKERS)
+    assert resolve_workers(None) == 1
+
+
+def test_explicit_workers_beats_env(monkeypatch):
+    monkeypatch.setenv(ENV_WORKERS, "8")
+    assert resolve_workers(2) == 2
+
+
+# -- map_points ---------------------------------------------------------------
+
+#: Recorded at import; under fork, workers inherit this value while
+#: their own os.getpid() differs — letting a task fail only in workers.
+_PARENT_PID = os.getpid()
+
+
+def _double(task):
+    return task * 2
+
+
+def _fail_on_negative(task):
+    if task < 0:
+        raise ValueError(f"bad task {task}")
+    return task * 2
+
+
+def _fail_in_worker(task):
+    if os.getpid() != _PARENT_PID:
+        raise RuntimeError("worker-only failure")
+    return task * 2
+
+
+def test_map_points_serial_order_and_results():
+    outcome = map_points(_double, [3, 1, 2], workers=1)
+    assert outcome.results == [6, 2, 4]
+    assert outcome.failures == []
+    assert outcome.ok
+    assert outcome.findings() == []
+
+
+def test_map_points_parallel_matches_serial():
+    tasks = list(range(8))
+    serial = map_points(_double, tasks, workers=1)
+    parallel = map_points(_double, tasks, workers=4)
+    assert parallel.results == serial.results == [t * 2 for t in tasks]
+    assert parallel.ok
+
+
+def test_map_points_serial_failure_is_fatal_without_retry():
+    outcome = map_points(
+        _fail_on_negative, [1, -1, 3], workers=1, labels=["a", "b", "c"]
+    )
+    assert outcome.results == [2, None, 6]
+    assert not outcome.ok
+    (failure,) = outcome.failures
+    assert failure.label == "b"
+    assert not failure.retried and failure.fatal
+    assert "bad task -1" in failure.error
+    assert "point dropped" in failure.describe()
+
+
+def test_map_points_worker_failure_retried_serially():
+    """A task that only fails inside a worker degrades gracefully."""
+    outcome = map_points(_fail_in_worker, [5, 6], workers=2, labels=["x", "y"])
+    if not outcome.failures:  # executor itself degraded to serial
+        assert outcome.results == [10, 12]
+        return
+    assert outcome.results == [10, 12]
+    assert outcome.ok  # retries succeeded, nothing fatal
+    for failure in outcome.failures:
+        assert failure.retried and not failure.fatal
+        assert "serial retry succeeded" in failure.describe()
+
+
+def test_map_points_worker_failure_fatal_after_retry():
+    outcome = map_points(_fail_on_negative, [1, -1, 3], workers=2)
+    assert outcome.results == [2, None, 6]
+    assert not outcome.ok
+    (failure,) = outcome.failures
+    assert failure.fatal
+    assert failure.label == "task[1]"
+
+
+def test_map_outcome_findings_describe_failures():
+    outcome = MapOutcome(
+        results=[None],
+        failures=[
+            TaskFailure(label="p@1", error="Boom: x", retried=True, fatal=True)
+        ],
+    )
+    assert not outcome.ok
+    assert outcome.findings() == [
+        "task p@1 failed after serial retry: Boom: x; point dropped"
+    ]
+
+
+# -- end-to-end determinism ---------------------------------------------------
+
+def _tiny_sweep(workers):
+    systems = {
+        scheme: make_system(scheme, "synthetic-fixed", seed=3)
+        for scheme in ("1x16", "16x1")
+    }
+    return sweep_many(
+        systems,
+        [8.0, 20.0],
+        num_requests=400,
+        workers=workers,
+        experiment="test-determinism",
+    )
+
+
+def test_sweep_results_identical_across_worker_counts():
+    """workers=4 reproduces workers=1 exactly — the engine's contract."""
+    serial = _tiny_sweep(1)
+    parallel = _tiny_sweep(4)
+    assert set(serial) == set(parallel) == {"1x16", "16x1"}
+    for scheme, sweep in serial.items():
+        other = parallel[scheme].points
+        assert len(sweep.points) == len(other) == 2
+        for mine, theirs in zip(sweep.points, other):
+            assert mine.offered_load == theirs.offered_load
+            assert mine.achieved_throughput == theirs.achieved_throughput
+            assert mine.summary.mean == theirs.summary.mean
+            assert mine.p99 == theirs.p99
