@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures figures-full validate examples clean
+.PHONY: install test bench figures figures-full validate examples trace clean
 
 install:
 	pip install -e .[dev] || $(PYTHON) setup.py develop
@@ -27,6 +27,11 @@ figures-full:
 validate:
 	$(PYTHON) -m repro.experiments validate
 
+# Demo Perfetto trace (per-RPC bars + queue-depth counter tracks) from
+# one telemetry-instrumented HERD point; open at https://ui.perfetto.dev
+trace:
+	$(PYTHON) -m repro.experiments.trace --out traces
+
 examples:
 	for script in examples/*.py; do \
 		echo "== $$script =="; \
@@ -35,5 +40,5 @@ examples:
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache \
-		benchmarks/output .benchmarks
+		benchmarks/output .benchmarks traces
 	find . -name __pycache__ -type d -exec rm -rf {} +

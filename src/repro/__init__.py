@@ -16,6 +16,8 @@ discrete-event simulation:
 * :mod:`repro.workloads` — HERD, Masstree, and synthetic RPC streams;
 * :mod:`repro.store` — an execution-driven skip-list KV store;
 * :mod:`repro.metrics` — latency/SLO/sweep measurement;
+* :mod:`repro.telemetry` — mergeable run instrumentation (histograms,
+  queue-depth probes, Perfetto counter tracks);
 * :mod:`repro.experiments` — one driver per paper table/figure.
 
 Quickstart::
@@ -44,6 +46,7 @@ from .core import (
 )
 from .metrics import LatencySummary, SweepPoint, SweepResult
 from .queueing import QueueingSystem
+from .telemetry import TelemetryHub, TelemetrySnapshot
 from .workloads import (
     HerdWorkload,
     MasstreeWorkload,
@@ -74,5 +77,7 @@ __all__ = [
     "LatencySummary",
     "SweepPoint",
     "SweepResult",
+    "TelemetryHub",
+    "TelemetrySnapshot",
     "__version__",
 ]

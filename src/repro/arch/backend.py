@@ -15,7 +15,7 @@ so heavy egress traffic can (realistically) delay ingress handling.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Tuple
+from typing import TYPE_CHECKING
 
 from ..sim import Store, delayed_call
 from .packets import OneSidedWrite, SendMessage
@@ -38,6 +38,9 @@ class NIBackend:
         self.replies_sent = 0
         self.onesided_handled = 0
         self.busy_ns = 0.0
+        #: Telemetry: pipeline-depth histogram, installed by
+        #: :func:`repro.telemetry.instrument_chip` (None = disabled).
+        self.depth_hist = None
         chip.env.process(self._run(), name=f"backend{backend_id}")
 
     # -- ingress/egress entry points ------------------------------------------
@@ -45,6 +48,9 @@ class NIBackend:
     def receive_message(self, msg: SendMessage) -> None:
         """A ``send`` message starts arriving from the network."""
         self._pipeline.put(("ingress", msg))
+        hist = self.depth_hist
+        if hist is not None:
+            hist.record(len(self._pipeline))
 
     def send_reply(self, num_packets: int) -> None:
         """A core's reply ``send`` leaves through this backend."""

@@ -154,18 +154,24 @@ class ReceiveSlot:
 class _SlotBuffer:
     """Common slot-array behaviour with an occupancy high-water mark."""
 
-    __slots__ = ("domain", "slots", "_occupied", "max_occupied")
+    __slots__ = ("domain", "slots", "_occupied", "max_occupied", "occupancy_hist")
 
     def __init__(self, domain: MessagingDomain, slot_factory) -> None:
         self.domain = domain
         self.slots: List = [slot_factory() for _ in range(domain.total_slots)]
         self._occupied = 0
         self.max_occupied = 0
+        #: Telemetry: occupancy histogram, installed by
+        #: :func:`repro.telemetry.instrument_chip` (None = disabled).
+        self.occupancy_hist = None
 
     def _note_occupy(self) -> None:
         self._occupied += 1
         if self._occupied > self.max_occupied:
             self.max_occupied = self._occupied
+        hist = self.occupancy_hist
+        if hist is not None:
+            hist.record(self._occupied)
 
     def _note_release(self) -> None:
         self._occupied -= 1

@@ -15,12 +15,11 @@ message→group spray before the simulation starts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 import numpy as np
 
-from ..dists import Distribution
 from ..metrics import LatencyRecorder
 from ..sim import Environment, RngRegistry, delayed_call
 from .backend import NIBackend
@@ -107,6 +106,9 @@ class Chip:
         #: stalls); consulted by cores at each request pickup.
         self.interference = None
         self._interference_rng = rngs.stream("interference")
+        #: Telemetry hub, set by :func:`repro.telemetry.instrument_chip`
+        #: (None = telemetry disabled; instrumented sites stay no-ops).
+        self.telemetry = None
 
     # -- scheme installation ---------------------------------------------------
 

@@ -15,7 +15,7 @@ an experiment actually exercises are:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 __all__ = ["ChipConfig", "cycles_to_ns", "DEFAULT_CONFIG"]
 

@@ -25,9 +25,9 @@ the sub-µs remote access soNUMA reports.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
-from ..sim import Event, Store
+from ..sim import Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from .chip import Chip

@@ -54,7 +54,7 @@ class QueuePair:
     tests assert.
     """
 
-    __slots__ = ("core_id", "wq", "cq", "max_cq_depth")
+    __slots__ = ("core_id", "wq", "cq", "max_cq_depth", "depth_hist")
 
     def __init__(self, env: Environment, core_id: int) -> None:
         self.core_id = core_id
@@ -62,6 +62,9 @@ class QueuePair:
         self.cq: Store = Store(env)
         #: High-water mark of CQ depth, for the single-queue invariant.
         self.max_cq_depth = 0
+        #: Telemetry: CQ-depth histogram, installed by
+        #: :func:`repro.telemetry.instrument_chip` (None = disabled).
+        self.depth_hist = None
 
     def post_cqe(self, item: Any) -> None:
         """NI-side: write a completion entry into the core's CQ."""
@@ -69,6 +72,9 @@ class QueuePair:
         depth = len(self.cq)
         if depth > self.max_cq_depth:
             self.max_cq_depth = depth
+        hist = self.depth_hist
+        if hist is not None:
+            hist.record(depth)
 
     def post_wqe(self, item: Any) -> None:
         """Core-side: enqueue a work request for the NI."""

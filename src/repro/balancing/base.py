@@ -71,6 +71,11 @@ class Dispatcher:
         #: Observability.
         self.dispatched = 0
         self.max_shared_cq_depth = 0
+        #: Telemetry hooks, installed by
+        #: :func:`repro.telemetry.instrument_chip` (None = disabled).
+        self.cq_depth_hist = None
+        self.decision_hist = None
+        self.dispatch_counter = None
 
     # -- latency model hooks (overridden by schemes) ----------------------------
 
@@ -115,6 +120,9 @@ class Dispatcher:
         depth = len(self.shared_cq)
         if depth > self.max_shared_cq_depth:
             self.max_shared_cq_depth = depth
+        hist = self.cq_depth_hist
+        if hist is not None:
+            hist.record(depth)
         if self.outstanding_limit is None:
             self._drain(idle_only=False)
         else:
@@ -166,6 +174,12 @@ class Dispatcher:
             self._dispatch_to(self.shared_cq.popleft(), core_id)
 
     def _dispatch_to(self, msg: "SendMessage", core_id: int) -> None:
+        hist = self.decision_hist
+        if hist is not None:
+            # The chosen core's load *before* this dispatch: 0 = the
+            # idle-core fast path, >0 = a prefetch-slot refill.
+            hist.record(self.outstanding[core_id])
+            self.dispatch_counter.inc()
         self.outstanding[core_id] += 1
         self.last_dispatch[core_id] = self.chip.env.now
         self.dispatched += 1

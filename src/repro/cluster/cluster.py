@@ -13,7 +13,7 @@ client and server, and sensitivity to fabric topology.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 import numpy as np

@@ -8,9 +8,7 @@ fabric supplies pairwise one-way latencies — uniform by default
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
 
-import numpy as np
 
 __all__ = ["Fabric", "UniformFabric", "PodFabric"]
 

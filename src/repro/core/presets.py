@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
 from ..balancing import (
     BalancingScheme,
@@ -58,12 +58,15 @@ def make_system(
     workload: str,
     seed: int = 0,
     costs: Optional[MicrobenchCosts] = None,
+    telemetry: bool = False,
 ) -> RpcValetSystem:
     """Assemble a system the way the paper's experiments do.
 
     Synthetic workloads default to the heavier ``paper_synthetic``
     costs (S̄ ≈ 1.2µs); HERD/Masstree use the ``lean`` costs
-    (S̄ ≈ 550ns for HERD). See DESIGN.md §5.
+    (S̄ ≈ 550ns for HERD). See DESIGN.md §5. ``telemetry=True`` turns
+    on queue-depth probes and the periodic sampler for every point the
+    system runs (see :mod:`repro.telemetry`).
     """
     workload_obj = make_workload(workload)
     if costs is None:
@@ -76,4 +79,5 @@ def make_system(
         workload=workload_obj,
         costs=costs,
         seed=seed,
+        telemetry=telemetry,
     )

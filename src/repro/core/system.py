@@ -20,14 +20,16 @@ True
 from __future__ import annotations
 
 import copy
+from collections import deque
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..arch import Chip, ChipConfig, DEFAULT_CONFIG
 from ..balancing import BalancingScheme
-from ..metrics import LatencySummary, SweepPoint, SweepResult
+from ..metrics import SweepPoint, SweepResult
 from ..runner import map_points, spawn_point_seeds
 from ..sim import Environment, RngRegistry
+from ..telemetry import TelemetryHub, TelemetrySnapshot, instrument_chip, merge_snapshots
 from ..workloads import (
     MicrobenchCosts,
     MicrobenchProgram,
@@ -35,7 +37,49 @@ from ..workloads import (
     TrafficGenerator,
 )
 
-__all__ = ["RpcValetSystem", "PointResult", "run_point_task", "sweep_many"]
+__all__ = [
+    "RpcValetSystem",
+    "PointResult",
+    "MessageLog",
+    "run_point_task",
+    "sweep_many",
+    "sweep_telemetry",
+]
+
+
+class MessageLog:
+    """A bounded completed-message log (oldest dropped, drops counted).
+
+    Drop-in for the plain list ``Chip.completed_messages`` expects: the
+    chip only ever ``append``s. With ``max_messages=None`` it behaves
+    like an unbounded list; with a cap, the oldest records are evicted
+    so long ``keep_messages=True`` captures cannot exhaust memory.
+    """
+
+    __slots__ = ("_messages", "max_messages", "dropped")
+
+    def __init__(self, max_messages: Optional[int] = None) -> None:
+        if max_messages is not None and max_messages < 1:
+            raise ValueError(
+                f"max_messages must be >= 1 or None, got {max_messages!r}"
+            )
+        self.max_messages = max_messages
+        self._messages: deque = deque(maxlen=max_messages)
+        self.dropped = 0
+
+    def append(self, msg) -> None:
+        if self.max_messages is not None and len(self._messages) == self.max_messages:
+            self.dropped += 1
+        self._messages.append(msg)
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+    def __iter__(self):
+        return iter(self._messages)
+
+    def to_list(self) -> list:
+        return list(self._messages)
 
 
 @dataclass
@@ -50,6 +94,10 @@ class PointResult:
     completed: int
     #: Per-request records, populated when run with keep_messages=True.
     messages: Optional[list] = None
+    #: Oldest records evicted from ``messages`` by a ``max_messages`` cap.
+    dropped_messages: int = 0
+    #: Telemetry snapshot, populated when run with telemetry enabled.
+    telemetry: Optional[TelemetrySnapshot] = None
 
     @property
     def p99(self) -> float:
@@ -70,6 +118,8 @@ class RpcValetSystem:
         pool_size: Optional[int] = None,
         source_skew: float = 0.0,
         interference=None,
+        telemetry: bool = False,
+        telemetry_interval_ns: Optional[float] = None,
     ) -> None:
         self.scheme = scheme
         self.workload = workload
@@ -84,6 +134,14 @@ class RpcValetSystem:
         self.source_skew = source_skew
         #: Optional §3.2 interference injection (see repro.arch.interference).
         self.interference = interference
+        #: When True, every run_point instruments the chip with a
+        #: :class:`repro.telemetry.TelemetryHub` and attaches the
+        #: snapshot to the result (and to ``point.extra["telemetry"]``,
+        #: so sweeps carry it through the parallel engine for merging).
+        self.telemetry = telemetry
+        #: Periodic-sampler tick in simulated ns; None derives ~200
+        #: ticks from the run's expected duration.
+        self.telemetry_interval_ns = telemetry_interval_ns
 
     @property
     def label(self) -> str:
@@ -115,6 +173,8 @@ class RpcValetSystem:
         num_requests: int = 50_000,
         warmup_fraction: float = 0.1,
         keep_messages: bool = False,
+        max_messages: Optional[int] = None,
+        telemetry: Optional[bool] = None,
     ) -> PointResult:
         """Simulate one offered-load point (in millions of requests/s).
 
@@ -122,7 +182,12 @@ class RpcValetSystem:
         the workload's SLO-relevant class, measured per §5: from the
         message's reception at the NI until the replenish is posted.
         ``keep_messages`` retains the per-request records on the result
-        for stage-level analysis (:func:`repro.metrics.breakdown_from_messages`).
+        for stage-level analysis (:func:`repro.metrics.breakdown_from_messages`);
+        ``max_messages`` bounds that capture (oldest records dropped,
+        drop count reported on the result) so long traces cannot OOM.
+        ``telemetry`` instruments the run (None defers to the system's
+        ``telemetry`` flag); the snapshot lands on the result and in
+        ``point.extra["telemetry"]``.
         """
         if offered_mrps <= 0:
             raise ValueError(f"offered_mrps must be positive, got {offered_mrps!r}")
@@ -130,8 +195,20 @@ class RpcValetSystem:
             raise ValueError(f"num_requests must be positive, got {num_requests!r}")
         rngs = RngRegistry(self.seed)
         chip = self._build(rngs)
+        message_log: Optional[MessageLog] = None
         if keep_messages:
-            chip.completed_messages = []
+            message_log = MessageLog(max_messages)
+            chip.completed_messages = message_log
+        hub: Optional[TelemetryHub] = None
+        if self.telemetry if telemetry is None else telemetry:
+            interval = self.telemetry_interval_ns
+            if interval is None:
+                # ~200 sampler ticks across the expected injection window.
+                duration_ns = num_requests / (offered_mrps * 1e6) * 1e9
+                interval = max(duration_ns / 200.0, 1.0)
+            hub = TelemetryHub(sample_interval=interval)
+            instrument_chip(chip, hub)
+            chip.env.attach_sampler(hub.make_sampler())
         traffic = TrafficGenerator(
             chip,
             self.workload,
@@ -158,14 +235,19 @@ class RpcValetSystem:
             )
             * 1e3
         )
+        extra = {
+            "mean_service_ns": chip.stats.mean_service_ns,
+            "stall_fraction": traffic.stall_fraction,
+        }
+        snapshot: Optional[TelemetrySnapshot] = None
+        if hub is not None:
+            snapshot = hub.snapshot()
+            extra["telemetry"] = snapshot
         point = SweepPoint(
             offered_load=offered_mrps,
             achieved_throughput=throughput_mrps,
             summary=summary,
-            extra={
-                "mean_service_ns": chip.stats.mean_service_ns,
-                "stall_fraction": traffic.stall_fraction,
-            },
+            extra=extra,
         )
         max_shared = max(
             dispatcher.max_shared_cq_depth for dispatcher in chip.dispatchers
@@ -177,7 +259,9 @@ class RpcValetSystem:
             max_private_cq_depth=chip.total_cqe_depth_high_water,
             max_shared_cq_depth=max_shared,
             completed=chip.stats.completed,
-            messages=chip.completed_messages,
+            messages=message_log.to_list() if message_log is not None else None,
+            dropped_messages=message_log.dropped if message_log is not None else 0,
+            telemetry=snapshot,
         )
 
     def sweep(
@@ -254,11 +338,19 @@ def sweep_many(
     owners: List[str] = []
     for name, system in systems.items():
         seeds = spawn_point_seeds(experiment or name, name, system.seed, len(loads))
-        for load, seed in zip(loads, seeds):
+        for index, (load, seed) in enumerate(zip(loads, seeds)):
             tasks.append((system, load, num_requests, warmup_fraction, seed))
-            labels.append(f"{name}@{load:g}")
+            # Full task identity (scheme, load index, load, seed) so a
+            # failure report pinpoints the exact simulation to rerun.
+            labels.append(f"{name}[{index}]@{load:g} (seed {seed})")
             owners.append(name)
-    outcome = map_points(run_point_task, tasks, workers=workers, labels=labels)
+    outcome = map_points(
+        run_point_task,
+        tasks,
+        workers=workers,
+        labels=labels,
+        progress_label=experiment or "sweep",
+    )
     points: Dict[str, List[SweepPoint]] = {name: [] for name in systems}
     for owner, result in zip(owners, outcome.results):
         if result is not None:
@@ -269,6 +361,20 @@ def sweep_many(
         name: SweepResult(label=name, points=series)
         for name, series in points.items()
     }
+
+
+def sweep_telemetry(sweep: SweepResult) -> Optional[TelemetrySnapshot]:
+    """Merge the telemetry snapshots carried by a sweep's points.
+
+    Each telemetry-enabled point stores its snapshot in
+    ``point.extra["telemetry"]``; merging in point order yields one
+    consistent view per curve that is bit-identical at any worker count
+    (see :func:`repro.telemetry.merge_snapshots`). Returns ``None`` when
+    the sweep ran without telemetry.
+    """
+    return merge_snapshots(
+        point.extra.get("telemetry") for point in sweep.points
+    )
 
 
 def _warmup_cutoff(recorder, warmup_fraction: float) -> float:

@@ -17,6 +17,7 @@ import time
 from typing import Callable, Dict, List
 
 from ..metrics import SweepResult, sweeps_chart, sweeps_csv
+from ..runner import set_progress
 from .ablations import (
     run_indirection_ablation,
     run_outstanding_ablation,
@@ -113,6 +114,14 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--progress",
+        action="store_true",
+        help=(
+            "print live per-task progress/ETA lines to stderr while "
+            "sweeps run (also enabled by REPRO_PROGRESS=1)"
+        ),
+    )
+    parser.add_argument(
         "--chart",
         action="store_true",
         help="also render the sweep curves as text scatter plots",
@@ -131,12 +140,15 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.progress:
+        set_progress(True)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         started = time.time()
         result = EXPERIMENTS[name](
             profile=args.profile, seed=args.seed, workers=args.workers
         )
+        elapsed = time.time() - started
         print(result.table())
         sweeps = collect_sweeps(result.data)
         if args.chart and sweeps:
@@ -157,7 +169,23 @@ def main(argv=None) -> int:
             from .persistence import save_result
 
             print(f"[saved {save_result(result, args.save)}]")
-        print(f"[{name} took {time.time() - started:.1f}s]\n")
+        if args.save or args.csv:
+            from .persistence import write_manifest
+
+            config = {
+                "profile": args.profile,
+                "seed": args.seed,
+                "workers": args.workers,
+            }
+            for directory in {args.save, args.csv} - {None}:
+                manifest_path = write_manifest(
+                    result.experiment_id,
+                    directory,
+                    config=config,
+                    elapsed_s=elapsed,
+                )
+                print(f"[manifest {manifest_path}]")
+        print(f"[{name} took {elapsed:.1f}s]\n")
     return 0
 
 

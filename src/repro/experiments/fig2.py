@@ -11,7 +11,7 @@ the paper's synthetic set normalized to unit mean.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from ..dists import Distribution, SYNTHETIC_KINDS, Scaled, synthetic
 from ..metrics import SweepResult, sweep_table

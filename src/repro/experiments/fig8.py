@@ -14,7 +14,7 @@ from typing import Dict, List, Optional
 
 from ..core import RpcValetSystem, make_system, sweep_many
 from ..dists import SYNTHETIC_KINDS
-from ..metrics import SweepResult, sweep_table
+from ..metrics import sweep_table
 from .common import (
     ExperimentResult,
     calibrate_mean_service_ns,

@@ -14,7 +14,7 @@ from typing import Dict, List, Optional
 
 from ..core import make_system
 from ..dists import SYNTHETIC_KINDS, synthetic
-from ..metrics import LatencySummary, SweepPoint, SweepResult, sweep_table
+from ..metrics import SweepPoint, SweepResult, sweep_table
 from ..queueing import QueueingSystem, composite_service
 from .common import (
     ExperimentResult,

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..metrics import format_table
-from .common import ExperimentResult, get_profile
+from .common import ExperimentResult
 from .fig7 import run_fig7c
 from .fig8 import run_fig8
 from .fig9 import model_vs_simulation

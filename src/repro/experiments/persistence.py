@@ -1,4 +1,4 @@
-"""Persisting experiment results as JSON snapshots.
+"""Persisting experiment results as JSON snapshots plus run manifests.
 
 Serializes an :class:`ExperimentResult` — tables, findings, and every
 sweep's points — to a stable JSON layout, so runs can be archived,
@@ -8,6 +8,13 @@ diffed across code versions, and compared for regressions:
     # ... change the code ...
     python -m repro.experiments fig7a --save results-new/
     # then: compare_snapshots(load_snapshot(a), load_snapshot(b))
+
+Every saved snapshot gets a sibling ``<id>.manifest.json`` recording
+the provenance needed to reproduce or triage the run: the exact
+configuration (experiment id, profile, seed, worker count), the git
+commit the code was at, the Python/NumPy/repro versions, the platform,
+and wall-clock timing. Diffing two snapshots without their manifests is
+guesswork; with them it's a bisection.
 """
 
 from __future__ import annotations
@@ -15,7 +22,11 @@ from __future__ import annotations
 import json
 import math
 import pathlib
-from typing import Dict, List, Union
+import platform
+import subprocess
+import sys
+import time
+from typing import Dict, List, Optional, Union
 
 from ..metrics import SweepResult
 from .cli import collect_sweeps
@@ -26,9 +37,94 @@ __all__ = [
     "save_result",
     "load_snapshot",
     "compare_snapshots",
+    "build_manifest",
+    "write_manifest",
 ]
 
 _SCHEMA_VERSION = 1
+_MANIFEST_SCHEMA_VERSION = 1
+
+
+def _git_commit() -> Optional[str]:
+    """Current git SHA (with ``-dirty`` suffix), or None outside a repo."""
+    root = pathlib.Path(__file__).resolve().parents[3]
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+            check=True,
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return f"{sha}-dirty" if status else sha
+
+
+def build_manifest(
+    experiment_id: str,
+    config: Optional[dict] = None,
+    elapsed_s: Optional[float] = None,
+) -> dict:
+    """Provenance record for one experiment run.
+
+    ``config`` is the run configuration (profile, seed, workers, ...);
+    ``elapsed_s`` the run's wall-clock duration. Code identity (git
+    SHA), package versions, and platform are collected here — a
+    manifest answers "what exactly produced this snapshot?".
+    """
+    import numpy
+
+    from .. import __version__ as repro_version
+
+    return {
+        "schema_version": _MANIFEST_SCHEMA_VERSION,
+        "experiment_id": experiment_id,
+        "config": dict(config or {}),
+        "git_commit": _git_commit(),
+        "versions": {
+            "python": platform.python_version(),
+            "numpy": numpy.__version__,
+            "repro": repro_version,
+        },
+        "platform": {
+            "system": platform.system(),
+            "machine": platform.machine(),
+            "python_implementation": platform.python_implementation(),
+        },
+        "argv": list(sys.argv),
+        "wall_clock": {
+            "completed_unix": time.time(),
+            "completed_utc": time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+            ),
+            "elapsed_s": elapsed_s,
+        },
+    }
+
+
+def write_manifest(
+    experiment_id: str,
+    directory: Union[str, pathlib.Path],
+    config: Optional[dict] = None,
+    elapsed_s: Optional[float] = None,
+) -> pathlib.Path:
+    """Write ``<directory>/<experiment_id>.manifest.json``; returns the path."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{experiment_id}.manifest.json"
+    manifest = build_manifest(experiment_id, config=config, elapsed_s=elapsed_s)
+    path.write_text(json.dumps(manifest, indent=2))
+    return path
 
 
 def _sweep_to_dict(sweep: SweepResult) -> dict:

@@ -2,7 +2,12 @@
 
 from .ascii_chart import ascii_chart, sweeps_chart
 from .breakdown import StageBreakdown, breakdown_from_messages
-from .chrometrace import chrome_trace_events, export_chrome_trace
+from .chrometrace import (
+    chrome_trace_events,
+    counter_track_events,
+    export_chrome_trace,
+    telemetry_counter_events,
+)
 from .latency import LatencyRecorder, LatencySummary
 from .statistics import BatchMeansResult, batch_means_ci, mser5_truncation
 from .sweep import LoadSweep, SweepPoint, SweepResult, throughput_under_slo
@@ -14,6 +19,8 @@ __all__ = [
     "StageBreakdown",
     "breakdown_from_messages",
     "chrome_trace_events",
+    "counter_track_events",
+    "telemetry_counter_events",
     "export_chrome_trace",
     "LatencyRecorder",
     "LatencySummary",

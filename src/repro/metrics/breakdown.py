@@ -17,7 +17,7 @@ message records this consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from typing import Sequence
 
 import numpy as np
 

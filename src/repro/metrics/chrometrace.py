@@ -1,4 +1,4 @@
-"""Chrome-trace export of per-message timelines.
+"""Chrome-trace export of per-message timelines and counter tracks.
 
 Converts completed :class:`~repro.arch.packets.SendMessage` records
 into the Trace Event Format consumed by ``chrome://tracing`` and
@@ -6,10 +6,15 @@ Perfetto (https://ui.perfetto.dev): load the JSON and see every RPC as
 a bar on its core's track, with NI stages on dedicated tracks. The
 visual version of :mod:`repro.metrics.breakdown`.
 
+Telemetry time series (queue depths, per-core outstanding counts — see
+:mod:`repro.telemetry`) export as Perfetto **counter tracks** that
+render as stepped area charts alongside the per-RPC bars, so a p99
+outlier bar can be read against the CQ backlog that caused it.
+
 Usage::
 
-    result = system.run_point(20.0, 5_000, keep_messages=True)
-    export_chrome_trace(result.messages, "rpcs.trace.json")
+    result = system.run_point(20.0, 5_000, keep_messages=True, telemetry=True)
+    export_chrome_trace(result.messages, "rpcs.trace.json", telemetry=result.telemetry)
 """
 
 from __future__ import annotations
@@ -17,7 +22,12 @@ from __future__ import annotations
 import json
 from typing import IO, List, Sequence, Union
 
-__all__ = ["chrome_trace_events", "export_chrome_trace"]
+__all__ = [
+    "chrome_trace_events",
+    "counter_track_events",
+    "telemetry_counter_events",
+    "export_chrome_trace",
+]
 
 #: Trace timestamps are in microseconds; the simulator uses ns.
 _NS_TO_US = 1e-3
@@ -83,14 +93,63 @@ def chrome_trace_events(messages: Sequence) -> List[dict]:
     return events
 
 
+def counter_track_events(
+    name: str,
+    times_ns: Sequence[float],
+    values: Sequence[float],
+    pid: int = 0,
+) -> List[dict]:
+    """Build Perfetto counter ("ph": "C") events for one value series.
+
+    Counter events render as a stepped area chart on a track named
+    ``name``. Times are simulator ns (converted to trace µs); values
+    are emitted as-is.
+    """
+    if len(times_ns) != len(values):
+        raise ValueError(
+            f"times and values differ in length: {len(times_ns)} vs {len(values)}"
+        )
+    return [
+        {
+            "name": name,
+            "ph": "C",
+            "ts": t * _NS_TO_US,
+            "pid": pid,
+            "args": {"value": v},
+        }
+        for t, v in zip(times_ns, values)
+    ]
+
+
+def telemetry_counter_events(telemetry, pid: int = 0) -> List[dict]:
+    """Counter tracks for every time series of a telemetry snapshot.
+
+    ``telemetry`` is a :class:`repro.telemetry.TelemetrySnapshot` (duck
+    typed: anything with a ``series`` mapping of name →
+    ``(times, values)`` pairs). Series are emitted in name order so the
+    output is deterministic.
+    """
+    events: List[dict] = []
+    for name in sorted(telemetry.series):
+        series = telemetry.series[name]
+        events.extend(counter_track_events(name, series.times, series.values, pid=pid))
+    return events
+
+
 def export_chrome_trace(
-    messages: Sequence, destination: Union[str, IO[str]]
+    messages: Sequence,
+    destination: Union[str, IO[str]],
+    telemetry=None,
 ) -> int:
     """Write messages as a Chrome-trace JSON file; returns event count.
 
-    ``destination`` is a path or an open text file object.
+    ``destination`` is a path or an open text file object. When a
+    telemetry snapshot is given, its time series are added as counter
+    tracks next to the per-RPC bars.
     """
     events = chrome_trace_events(messages)
+    if telemetry is not None:
+        events.extend(telemetry_counter_events(telemetry))
     payload = {"traceEvents": events, "displayTimeUnit": "ns"}
     if hasattr(destination, "write"):
         json.dump(payload, destination)

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, List, Tuple
 
 import numpy as np
 

@@ -17,11 +17,18 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..dists import Distribution, Fixed, Shifted
+from ..dists import Distribution, Shifted
 from ..metrics import LatencySummary, SweepPoint, SweepResult
 from ..runner import map_points, spawn_point_seeds
 from ..sim import RngRegistry
-from .fastsim import poisson_arrivals, sojourn_times
+from ..telemetry import Histogram, TelemetrySnapshot, TimeSeries
+from .fastsim import (
+    poisson_arrivals,
+    queue_depth_at_arrivals,
+    queue_length_series,
+    simulate_fifo_queue,
+    sojourn_times,
+)
 
 __all__ = ["QueueingSystem", "composite_service", "PAPER_CONFIGS", "run_queueing_task"]
 
@@ -66,6 +73,13 @@ class QueueingSystem:
     servers_per_queue: int
     service: Distribution
     seed: int = 0
+    #: When True, :meth:`run` also captures per-queue length telemetry
+    #: (arrival-sampled depth histograms + a step time series per FIFO)
+    #: in ``point.extra["telemetry"]``; see :mod:`repro.telemetry`.
+    telemetry: bool = False
+    #: Cap on retained time-series events per queue (the histograms are
+    #: always complete; only the step series is decimated).
+    telemetry_series_points: int = 512
 
     def __post_init__(self) -> None:
         if self.num_queues <= 0 or self.servers_per_queue <= 0:
@@ -114,33 +128,86 @@ class QueueingSystem:
         queue_ids = spray_rng.integers(0, self.num_queues, size=num_requests)
 
         all_sojourns = []
+        snapshot: Optional[TelemetrySnapshot] = (
+            TelemetrySnapshot() if self.telemetry else None
+        )
         for queue_id in range(self.num_queues):
             mask = queue_ids == queue_id
             if not mask.any():
                 continue
-            all_sojourns.append(
-                sojourn_times(
-                    arrivals[mask],
-                    services[mask],
-                    self.servers_per_queue,
-                    warmup_fraction=warmup_fraction,
-                    # Arrivals are a cumsum of non-negative gaps and
-                    # services come straight from the distributions:
-                    # skip fastsim's O(n) input validation on this hot path.
-                    validate=False,
+            if snapshot is None:
+                all_sojourns.append(
+                    sojourn_times(
+                        arrivals[mask],
+                        services[mask],
+                        self.servers_per_queue,
+                        warmup_fraction=warmup_fraction,
+                        # Arrivals are a cumsum of non-negative gaps and
+                        # services come straight from the distributions:
+                        # skip fastsim's O(n) input validation on this hot path.
+                        validate=False,
+                    )
                 )
+                continue
+            # Telemetry path: keep the departure times around so the
+            # queue-length telemetry can be derived from them.
+            queue_arrivals = arrivals[mask]
+            departures = simulate_fifo_queue(
+                queue_arrivals,
+                services[mask],
+                self.servers_per_queue,
+                validate=False,
+            )
+            sojourns = departures - queue_arrivals
+            skip = int(sojourns.size * warmup_fraction)
+            all_sojourns.append(sojourns[skip:])
+            self._record_queue_telemetry(
+                snapshot, queue_id, queue_arrivals, departures
             )
         sojourns = (
             np.concatenate(all_sojourns) if all_sojourns else np.empty(0)
         )
         normalized = sojourns / mean_service
         summary = LatencySummary.from_values(normalized)
+        extra = {"mean_service": mean_service, "arrival_rate": rate}
+        if snapshot is not None:
+            extra["telemetry"] = snapshot
         return SweepPoint(
             offered_load=load,
             achieved_throughput=load,
             summary=summary,
-            extra={"mean_service": mean_service, "arrival_rate": rate},
+            extra=extra,
         )
+
+    def _record_queue_telemetry(
+        self,
+        snapshot: TelemetrySnapshot,
+        queue_id: int,
+        arrivals: np.ndarray,
+        departures: np.ndarray,
+    ) -> None:
+        """Capture one FIFO's length telemetry into ``snapshot``.
+
+        Per-queue *and* systemwide arrival-sampled depth histograms
+        (both mergeable across workers) plus a decimated number-in-
+        system step series per queue.
+        """
+        depths = queue_depth_at_arrivals(arrivals, departures).astype(float)
+        per_queue = Histogram(f"queueing.depth[q{queue_id}]")
+        per_queue.record_many(depths)
+        snapshot.histograms[per_queue.name] = per_queue
+        combined = snapshot.histograms.get("queueing.depth")
+        if combined is None:
+            combined = snapshot.histograms["queueing.depth"] = Histogram(
+                "queueing.depth"
+            )
+        combined.record_many(depths)
+        times, lengths = queue_length_series(arrivals, departures)
+        stride = max(1, times.size // self.telemetry_series_points)
+        series = TimeSeries(f"queue_len[q{queue_id}]")
+        series.times = times[::stride].tolist()
+        series.values = lengths[::stride].astype(float).tolist()
+        snapshot.series[series.name] = series
 
     def sweep(
         self,
@@ -173,7 +240,11 @@ class QueueingSystem:
             run_queueing_task,
             tasks,
             workers=workers,
-            labels=[f"{name}@{load:g}" for load in sorted_loads],
+            labels=[
+                f"{name}[{index}]@{load:g} (seed {seed})"
+                for index, (load, seed) in enumerate(zip(sorted_loads, seeds))
+            ],
+            progress_label=experiment or name,
         )
         if failures is not None:
             failures.extend(outcome.findings())

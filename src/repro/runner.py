@@ -29,36 +29,76 @@ default — keeps pdb/profilers usable in tests) and on a
 ``REPRO_WORKERS`` environment variable decides; the experiments CLI
 exposes ``--workers``.
 
+Live progress
+-------------
+With progress enabled (``--progress`` on the CLI, the
+``REPRO_PROGRESS=1`` environment variable, or
+``map_points(..., progress=True)``), each completed task emits a
+stderr status line with the done/total count, the task's label, and an
+ETA extrapolated from the completed tasks' mean wall-clock. Progress is
+reporting only — results and their order are unaffected.
+
 Graceful degradation
 --------------------
 A task that raises inside a worker is retried once serially; if the
 retry also fails, the task's slot is ``None`` and the failure is
 reported through :meth:`MapOutcome.findings` (figure drivers surface
 these in ``ExperimentResult.findings``) instead of killing the sweep.
+Failure records identify the exact task (index plus the caller's label
+— figure sweeps label tasks ``scheme[load_index]@load (seed N)``) and
+the exception from each attempt.
 """
 
 from __future__ import annotations
 
 import hashlib
 import os
-from concurrent.futures import ProcessPoolExecutor
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence, TextIO
 
 import numpy as np
 
 __all__ = [
     "ENV_WORKERS",
+    "ENV_PROGRESS",
     "MapOutcome",
+    "ProgressReporter",
     "TaskFailure",
     "map_points",
+    "progress_enabled",
     "resolve_workers",
+    "set_progress",
     "spawn_point_seeds",
     "task_seed",
 ]
 
 #: Environment variable consulted when ``workers`` is not given.
 ENV_WORKERS = "REPRO_WORKERS"
+
+#: Environment variable enabling live progress lines ("1"/"true"/"yes").
+ENV_PROGRESS = "REPRO_PROGRESS"
+
+#: Process-wide progress override (set by the CLI's ``--progress``);
+#: ``None`` defers to :data:`ENV_PROGRESS`.
+_PROGRESS_OVERRIDE: Optional[bool] = None
+
+
+def set_progress(enabled: Optional[bool]) -> None:
+    """Force progress reporting on/off process-wide (None = env decides)."""
+    global _PROGRESS_OVERRIDE
+    _PROGRESS_OVERRIDE = enabled
+
+
+def progress_enabled(progress: Optional[bool] = None) -> bool:
+    """Effective progress switch: explicit arg, else override, else env."""
+    if progress is not None:
+        return progress
+    if _PROGRESS_OVERRIDE is not None:
+        return _PROGRESS_OVERRIDE
+    return os.environ.get(ENV_PROGRESS, "").strip().lower() in ("1", "true", "yes")
 
 
 def _key_hash(key: object) -> int:
@@ -122,15 +162,20 @@ class TaskFailure:
     #: True when the retry (or serial first attempt) also failed, so the
     #: task produced no result.
     fatal: bool
+    #: Position of the task in the ``map_points`` call (result slot).
+    index: int = -1
 
     def describe(self) -> str:
+        where = f"task {self.label}" if self.index < 0 else (
+            f"task #{self.index} ({self.label})"
+        )
         if not self.fatal:
             return (
-                f"task {self.label} failed in a worker ({self.error}); "
+                f"{where} failed in a worker ({self.error}); "
                 "serial retry succeeded"
             )
         attempt = "after serial retry" if self.retried else "serially"
-        return f"task {self.label} failed {attempt}: {self.error}; point dropped"
+        return f"{where} failed {attempt}: {self.error}; point dropped"
 
 
 @dataclass
@@ -152,6 +197,48 @@ class MapOutcome:
         return [failure.describe() for failure in self.failures]
 
 
+class ProgressReporter:
+    """Per-task completion lines with an ETA, written to stderr.
+
+    ``elapsed / done * remaining`` is a fine ETA model here because
+    sweep tasks are close to equal-cost; the point is a liveness signal
+    during multi-minute parallel sweeps, not a scheduler.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        label: str = "sweep",
+        stream: Optional[TextIO] = None,
+        min_interval_s: float = 0.25,
+    ) -> None:
+        self.total = total
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval_s = min_interval_s
+        self.done = 0
+        self._started = time.monotonic()
+        self._last_print = float("-inf")
+
+    def task_done(self, task_label: str) -> None:
+        """Record one completed task and (rate-limited) print a line."""
+        self.done += 1
+        now = time.monotonic()
+        final = self.done >= self.total
+        if not final and now - self._last_print < self.min_interval_s:
+            return
+        self._last_print = now
+        elapsed = now - self._started
+        eta = elapsed / self.done * (self.total - self.done)
+        percent = 100.0 * self.done / self.total
+        print(
+            f"[{self.label}] {self.done}/{self.total} ({percent:.0f}%) "
+            f"elapsed {elapsed:.1f}s ETA {eta:.1f}s — {task_label}",
+            file=self.stream,
+            flush=True,
+        )
+
+
 def _task_label(labels: Optional[Sequence[str]], index: int) -> str:
     if labels is not None and index < len(labels):
         return str(labels[index])
@@ -162,6 +249,7 @@ def _map_serial(
     fn: Callable[[Any], Any],
     tasks: Sequence[Any],
     labels: Optional[Sequence[str]],
+    reporter: Optional[ProgressReporter] = None,
 ) -> MapOutcome:
     outcome = MapOutcome(results=[None] * len(tasks))
     for index, task in enumerate(tasks):
@@ -174,8 +262,11 @@ def _map_serial(
                     error=f"{type(exc).__name__}: {exc}",
                     retried=False,
                     fatal=True,
+                    index=index,
                 )
             )
+        if reporter is not None:
+            reporter.task_done(_task_label(labels, index))
     return outcome
 
 
@@ -184,6 +275,8 @@ def map_points(
     tasks: Sequence[Any],
     workers: Optional[int] = None,
     labels: Optional[Sequence[str]] = None,
+    progress: Optional[bool] = None,
+    progress_label: str = "sweep",
 ) -> MapOutcome:
     """Run ``fn`` over ``tasks``, serially or on a process pool.
 
@@ -200,7 +293,13 @@ def map_points(
         Worker count; ``None`` consults ``REPRO_WORKERS``. ``<= 1``
         runs serially in-process.
     labels:
-        Optional per-task labels used in failure reports.
+        Optional per-task labels used in failure reports and progress
+        lines.
+    progress:
+        Live per-task progress/ETA on stderr; ``None`` consults
+        :func:`set_progress` / ``REPRO_PROGRESS``.
+    progress_label:
+        Prefix of progress lines (the CLI passes the experiment id).
 
     Returns
     -------
@@ -210,42 +309,65 @@ def map_points(
     """
     tasks = list(tasks)
     count = resolve_workers(workers)
+    reporter = (
+        ProgressReporter(len(tasks), label=progress_label)
+        if progress_enabled(progress) and tasks
+        else None
+    )
     if count <= 1 or len(tasks) <= 1:
-        return _map_serial(fn, tasks, labels)
+        return _map_serial(fn, tasks, labels, reporter)
 
     try:
         executor = ProcessPoolExecutor(max_workers=min(count, len(tasks)))
     except (OSError, ValueError):  # no usable multiprocessing: degrade
-        return _map_serial(fn, tasks, labels)
+        return _map_serial(fn, tasks, labels, reporter)
 
     outcome = MapOutcome(results=[None] * len(tasks))
     with executor:
-        futures = [executor.submit(fn, task) for task in tasks]
-        for index, future in enumerate(futures):
-            try:
-                outcome.results[index] = future.result()
-                continue
-            except Exception as exc:  # noqa: BLE001 - worker died or task raised
-                worker_error = f"{type(exc).__name__}: {exc}"
-            # Graceful degradation: retry the failed task once, serially.
-            try:
-                outcome.results[index] = fn(tasks[index])
-            except Exception as exc:  # noqa: BLE001
-                outcome.failures.append(
-                    TaskFailure(
-                        label=_task_label(labels, index),
-                        error=f"{type(exc).__name__}: {exc}",
-                        retried=True,
-                        fatal=True,
-                    )
+        index_of = {
+            executor.submit(fn, task): index for index, task in enumerate(tasks)
+        }
+        # Collect in completion order (for live progress), report in
+        # task order below — the outcome never depends on scheduling.
+        worker_errors: dict = {}
+        pending = set(index_of)
+        while pending:
+            finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in finished:
+                index = index_of[future]
+                try:
+                    outcome.results[index] = future.result()
+                except Exception as exc:  # noqa: BLE001 - worker died or task raised
+                    worker_errors[index] = f"{type(exc).__name__}: {exc}"
+                if reporter is not None:
+                    reporter.task_done(_task_label(labels, index))
+    # Graceful degradation: retry failed tasks once, serially, in task
+    # order (deterministic findings regardless of completion order).
+    for index in sorted(worker_errors):
+        label = _task_label(labels, index)
+        try:
+            outcome.results[index] = fn(tasks[index])
+        except Exception as exc:  # noqa: BLE001
+            outcome.failures.append(
+                TaskFailure(
+                    label=label,
+                    error=(
+                        f"worker: {worker_errors[index]}; "
+                        f"retry: {type(exc).__name__}: {exc}"
+                    ),
+                    retried=True,
+                    fatal=True,
+                    index=index,
                 )
-            else:
-                outcome.failures.append(
-                    TaskFailure(
-                        label=_task_label(labels, index),
-                        error=worker_error,
-                        retried=True,
-                        fatal=False,
-                    )
+            )
+        else:
+            outcome.failures.append(
+                TaskFailure(
+                    label=label,
+                    error=worker_errors[index],
+                    retried=True,
+                    fatal=False,
+                    index=index,
                 )
+            )
     return outcome

@@ -36,13 +36,14 @@ class Environment:
         Starting value of the simulation clock.
     """
 
-    __slots__ = ("_now", "_queue", "_eid", "_active_process")
+    __slots__ = ("_now", "_queue", "_eid", "_active_process", "_sampler")
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._eid = count()
         self._active_process: Optional[Process] = None
+        self._sampler = None
 
     # -- clock ----------------------------------------------------------------
 
@@ -55,6 +56,26 @@ class Environment:
     def active_process(self) -> Optional[Process]:
         """The process currently being resumed, if any."""
         return self._active_process
+
+    # -- telemetry ------------------------------------------------------------
+
+    @property
+    def sampler(self):
+        """The attached periodic telemetry sampler, if any."""
+        return self._sampler
+
+    def attach_sampler(self, sampler) -> None:
+        """Attach a periodic telemetry sampler (or ``None`` to detach).
+
+        ``sampler`` follows the :class:`repro.telemetry.PeriodicSampler`
+        protocol: a ``next_at`` attribute and an ``advance(now)`` method
+        that samples every due tick ``<= now``. The run loop consults it
+        before processing each event, so sampling happens at simulated
+        times and stops naturally when the schedule drains. With no
+        sampler attached, :meth:`run` takes its original hot loop — the
+        disabled path costs nothing per event.
+        """
+        self._sampler = sampler
 
     # -- event creation ---------------------------------------------------------
 
@@ -157,11 +178,29 @@ class Environment:
         # overhead is measurable at ~10 kernel events per simulated RPC.
         queue = self._queue
         pop = heappop
+        sampler = self._sampler
         if stop_event is None and stop_at == float("inf"):
             # run() with no ``until`` — the arch simulator's only mode:
             # drain the schedule with no stop checks per event.
+            if sampler is None:
+                while queue:
+                    when, _prio, _eid, event = pop(queue)
+                    self._now = when
+                    callbacks = event.callbacks
+                    event.callbacks = None  # marks the event as processed
+                    event._processed = True
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        # A failure nobody handled: surface it, don't drop it.
+                        raise event._value
+                return None
+            # Telemetry variant of the same loop: poll the periodic
+            # sampler before each event whose time passes its next tick.
             while queue:
                 when, _prio, _eid, event = pop(queue)
+                if when >= sampler.next_at:
+                    sampler.advance(when)
                 self._now = when
                 callbacks = event.callbacks
                 event.callbacks = None  # marks the event as processed
@@ -187,6 +226,8 @@ class Environment:
                 self._now = stop_at
                 return None
             when, _prio, _eid, event = pop(queue)
+            if sampler is not None and when >= sampler.next_at:
+                sampler.advance(when)
             self._now = when
             callbacks = event.callbacks
             event.callbacks = None  # marks the event as processed

@@ -1,0 +1,91 @@
+"""Wiring a TelemetryHub into the architectural simulator.
+
+:func:`instrument_chip` attaches histograms and periodic probes at the
+load-bearing points of a built :class:`~repro.arch.chip.Chip`:
+
+* **dispatcher decisions** — shared-CQ depth at every enqueue, the
+  chosen core's outstanding count at every dispatch, and a dispatch
+  counter (:mod:`repro.balancing.base`);
+* **QP/CQ depth** — private-CQ depth at every CQE write
+  (:mod:`repro.arch.qp`);
+* **NI backend pipeline depth** at every ingress message
+  (:mod:`repro.arch.backend`);
+* **receive-buffer occupancy** at every slot claim
+  (:mod:`repro.arch.buffers`);
+* **periodic probes** (→ Perfetto counter tracks): per-dispatcher
+  shared-CQ length, per-core outstanding count, per-backend pipeline
+  depth, and receive slots in use.
+
+The instrumented sites all guard with a single ``is not None`` check,
+so a chip that is *not* instrumented pays nothing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .hub import TelemetryHub
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..arch.chip import Chip
+
+__all__ = ["instrument_chip"]
+
+#: Canonical metric names used by :func:`instrument_chip`.
+PRIVATE_CQ_DEPTH = "arch.private_cq_depth"
+SHARED_CQ_DEPTH = "arch.shared_cq_depth"
+DISPATCH_OUTSTANDING = "arch.dispatch_outstanding"
+DISPATCHES = "arch.dispatches"
+BACKEND_DEPTH = "arch.backend_pipeline_depth"
+RECV_SLOTS = "arch.recv_slots_occupied"
+
+
+def instrument_chip(chip: "Chip", hub: TelemetryHub) -> TelemetryHub:
+    """Attach ``hub``'s probes to every instrumented site of ``chip``.
+
+    Must be called after the balancing scheme is installed (it probes
+    the dispatchers) and before the run starts. Returns ``hub``.
+    """
+    if not chip.dispatchers:
+        raise RuntimeError("instrument_chip: no balancing scheme installed yet")
+    chip.telemetry = hub
+
+    # Event-driven histograms: one shared instance per metric, so the
+    # distribution is chip-wide and merges cleanly across workers.
+    private_cq = hub.histogram(PRIVATE_CQ_DEPTH)
+    for core in chip.cores:
+        core.qp.depth_hist = private_cq
+
+    shared_cq = hub.histogram(SHARED_CQ_DEPTH)
+    decisions = hub.histogram(DISPATCH_OUTSTANDING)
+    dispatches = hub.counter(DISPATCHES)
+    for dispatcher in chip.dispatchers:
+        dispatcher.cq_depth_hist = shared_cq
+        dispatcher.decision_hist = decisions
+        dispatcher.dispatch_counter = dispatches
+
+    backend_depth = hub.histogram(BACKEND_DEPTH)
+    for backend in chip.backends:
+        backend.depth_hist = backend_depth
+
+    chip.receive_buffer.occupancy_hist = hub.histogram(RECV_SLOTS)
+
+    # Periodic probes: per-component queue-length counter tracks.
+    for dispatcher in chip.dispatchers:
+        hub.add_probe(
+            f"shared_cq[{dispatcher.group_id}]",
+            lambda d=dispatcher: len(d.shared_cq),
+        )
+    for dispatcher in chip.dispatchers:
+        for core_id in dispatcher.core_ids:
+            hub.add_probe(
+                f"outstanding[core{core_id:02d}]",
+                lambda d=dispatcher, c=core_id: d.outstanding[c],
+            )
+    for backend in chip.backends:
+        hub.add_probe(
+            f"backend[{backend.backend_id}].pipeline",
+            lambda b=backend: len(b._pipeline),
+        )
+    hub.add_probe("recv_slots", lambda rb=chip.receive_buffer: rb.occupied)
+    return hub

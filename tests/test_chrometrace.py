@@ -1,0 +1,161 @@
+"""Trace Event Format exporter: schema validity, time ordering, units.
+
+The output must load in chrome://tracing / Perfetto, which means every
+event needs the documented required keys, timestamps must be in
+microseconds, and each track's events should appear in time order.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.arch.packets import SendMessage
+from repro.metrics import (
+    chrome_trace_events,
+    counter_track_events,
+    export_chrome_trace,
+    telemetry_counter_events,
+)
+from repro.telemetry import TelemetrySnapshot, TimeSeries
+
+#: Required keys per the Trace Event Format spec, by phase.
+_COMPLETE_KEYS = {"name", "ph", "ts", "dur", "pid", "tid"}
+_COUNTER_KEYS = {"name", "ph", "ts", "pid", "args"}
+
+
+def _message(msg_id, t_arrival, stage_ns=100.0, core_id=0):
+    msg = SendMessage(
+        msg_id=msg_id,
+        src_node=1,
+        slot=0,
+        size_bytes=128,
+        num_packets=2,
+        service_ns=stage_ns,
+    )
+    msg.t_arrival = t_arrival
+    msg.t_reassembled = t_arrival + stage_ns
+    msg.t_dispatch = t_arrival + 2 * stage_ns
+    msg.t_start = t_arrival + 2 * stage_ns
+    msg.t_replenish = t_arrival + 3 * stage_ns
+    msg.backend_id = 0
+    msg.group_id = 0
+    msg.core_id = core_id
+    return msg
+
+
+def _messages(count=4):
+    return [
+        _message(i, t_arrival=1_000.0 * i, core_id=i % 2) for i in range(count)
+    ]
+
+
+# -- schema validity ----------------------------------------------------------
+
+def test_complete_events_have_required_keys():
+    for event in chrome_trace_events(_messages()):
+        assert _COMPLETE_KEYS <= set(event)
+        assert event["ph"] == "X"
+        assert isinstance(event["ts"], float)
+        assert event["dur"] >= 0.0
+
+
+def test_counter_events_have_required_keys():
+    events = counter_track_events("q", [0.0, 10.0], [1.0, 2.0])
+    for event in events:
+        assert set(event) == _COUNTER_KEYS
+        assert event["ph"] == "C"
+        assert "value" in event["args"]
+
+
+def test_counter_track_rejects_length_mismatch():
+    with pytest.raises(ValueError):
+        counter_track_events("q", [0.0, 1.0], [1.0])
+
+
+def test_export_is_valid_json_with_trace_events_envelope():
+    buffer = io.StringIO()
+    count = export_chrome_trace(_messages(), buffer)
+    payload = json.loads(buffer.getvalue())
+    assert set(payload) == {"traceEvents", "displayTimeUnit"}
+    assert len(payload["traceEvents"]) == count
+    # Three stage events (backend, dispatcher, core) per message.
+    assert count == 3 * len(_messages())
+
+
+def test_incomplete_message_raises():
+    with pytest.raises(ValueError):
+        chrome_trace_events([SendMessage(0, 1, 0, 128, 2, 1.0)])
+
+
+# -- per-track time ordering --------------------------------------------------
+
+def test_timestamps_monotonic_per_track():
+    events = chrome_trace_events(_messages(count=6))
+    by_track = {}
+    for event in events:
+        by_track.setdefault(event["tid"], []).append(event["ts"])
+    assert len(by_track) >= 3  # backend, dispatcher, >=1 core track
+    for track, stamps in by_track.items():
+        assert stamps == sorted(stamps), f"track {track!r} out of order"
+
+
+def test_counter_track_preserves_sample_order():
+    times = [0.0, 5.0, 10.0, 15.0]
+    events = counter_track_events("q", times, [0.0, 1.0, 2.0, 1.0])
+    assert [e["ts"] for e in events] == [t * 1e-3 for t in times]
+
+
+# -- ns -> µs conversion ------------------------------------------------------
+
+def test_ns_to_us_conversion():
+    (msg,) = [_message(0, t_arrival=2_000.0, stage_ns=500.0)]
+    backend, dispatcher, core = chrome_trace_events([msg])
+    assert backend["ts"] == pytest.approx(2.0)  # 2000 ns = 2 µs
+    assert backend["dur"] == pytest.approx(0.5)
+    assert dispatcher["ts"] == pytest.approx(2.5)
+    assert core["ts"] == pytest.approx(3.0)
+    assert core["dur"] == pytest.approx(0.5)
+
+
+def test_counter_values_not_scaled():
+    (event,) = counter_track_events("q", [1_000.0], [42.0])
+    assert event["ts"] == pytest.approx(1.0)
+    assert event["args"]["value"] == 42.0  # values are depths, not times
+
+
+# -- telemetry snapshot integration -------------------------------------------
+
+def _snapshot_with_series():
+    snapshot = TelemetrySnapshot()
+    for name in ("b_series", "a_series"):
+        series = TimeSeries(name)
+        series.append(0.0, 1.0)
+        series.append(100.0, 2.0)
+        snapshot.series[name] = series
+    return snapshot
+
+
+def test_telemetry_counter_events_sorted_by_name():
+    events = telemetry_counter_events(_snapshot_with_series())
+    assert [e["name"] for e in events] == [
+        "a_series", "a_series", "b_series", "b_series"
+    ]
+
+
+def test_export_appends_counter_tracks():
+    messages = _messages()
+    buffer = io.StringIO()
+    count = export_chrome_trace(
+        messages, buffer, telemetry=_snapshot_with_series()
+    )
+    payload = json.loads(buffer.getvalue())
+    assert count == 3 * len(messages) + 4
+    phases = {event["ph"] for event in payload["traceEvents"]}
+    assert phases == {"X", "C"}
+
+
+def test_export_to_path(tmp_path):
+    path = tmp_path / "trace.json"
+    export_chrome_trace(_messages(), str(path))
+    assert json.loads(path.read_text())["traceEvents"]

@@ -1,6 +1,5 @@
 """The experiments command-line interface."""
 
-import pathlib
 
 import pytest
 

@@ -1,6 +1,5 @@
 """QueueingSystem: the paper's Q×U models (§2.2)."""
 
-import numpy as np
 import pytest
 
 from repro.dists import Exponential, Fixed

@@ -5,6 +5,7 @@ results — ``workers=4`` must reproduce ``workers=1`` bit for bit — so
 parallelism can never be a source of run-to-run noise.
 """
 
+import io
 import os
 
 import pytest
@@ -13,11 +14,15 @@ from hypothesis import strategies as st
 
 from repro.core import make_system, sweep_many
 from repro.runner import (
+    ENV_PROGRESS,
     ENV_WORKERS,
     MapOutcome,
+    ProgressReporter,
     TaskFailure,
     map_points,
+    progress_enabled,
     resolve_workers,
+    set_progress,
     spawn_point_seeds,
     task_seed,
 )
@@ -188,6 +193,99 @@ def test_map_outcome_findings_describe_failures():
     assert outcome.findings() == [
         "task p@1 failed after serial retry: Boom: x; point dropped"
     ]
+
+
+# -- failure identity (which task failed, exactly) ----------------------------
+
+def test_sweep_failure_names_scheme_load_index_and_seed(monkeypatch):
+    """A dropped point's finding pinpoints the exact simulation to rerun."""
+    import repro.core.system as core_system
+
+    real_task = core_system.run_point_task
+
+    def explode_at_second_load(task):
+        system, load, *_rest = task
+        if load == 20.0:
+            raise RuntimeError("injected failure")
+        return real_task(task)
+
+    monkeypatch.setattr(core_system, "run_point_task", explode_at_second_load)
+    failures = []
+    sweeps = sweep_many(
+        {"1x16": make_system("1x16", "synthetic-fixed", seed=3)},
+        [8.0, 20.0],
+        num_requests=200,
+        workers=1,
+        experiment="test-failure-id",
+        failures=failures,
+    )
+    assert len(sweeps["1x16"].points) == 1  # the failed point is dropped
+    (finding,) = failures
+    assert "1x16[1]@20" in finding  # scheme + load index + load
+    assert "(seed " in finding  # the exact per-task seed
+    assert "RuntimeError: injected failure" in finding
+
+
+# -- progress reporting -------------------------------------------------------
+
+def test_progress_enabled_resolution(monkeypatch):
+    monkeypatch.delenv(ENV_PROGRESS, raising=False)
+    set_progress(None)
+    assert not progress_enabled()
+    assert progress_enabled(True)
+    monkeypatch.setenv(ENV_PROGRESS, "1")
+    assert progress_enabled()
+    monkeypatch.setenv(ENV_PROGRESS, "0")
+    assert not progress_enabled()
+    set_progress(True)
+    try:
+        assert progress_enabled()
+        assert not progress_enabled(False)  # explicit arg beats override
+    finally:
+        set_progress(None)
+
+
+def test_progress_reporter_counts_and_eta():
+    stream = io.StringIO()
+    reporter = ProgressReporter(
+        3, label="fig7a", stream=stream, min_interval_s=0.0
+    )
+    for name in ("a", "b", "c"):
+        reporter.task_done(name)
+    lines = stream.getvalue().splitlines()
+    assert len(lines) == 3
+    assert lines[0].startswith("[fig7a] 1/3 (33%)")
+    assert "ETA" in lines[0] and "a" in lines[0]
+    assert lines[-1].startswith("[fig7a] 3/3 (100%)")
+    assert "ETA 0.0s" in lines[-1]
+
+
+def test_progress_reporter_rate_limits_but_always_prints_final():
+    stream = io.StringIO()
+    reporter = ProgressReporter(
+        5, label="x", stream=stream, min_interval_s=3600.0
+    )
+    for index in range(5):
+        reporter.task_done(str(index))
+    lines = stream.getvalue().splitlines()
+    # First task prints, intermediates are throttled, final always prints.
+    assert len(lines) == 2
+    assert lines[0].startswith("[x] 1/5")
+    assert lines[1].startswith("[x] 5/5")
+
+
+def test_map_points_emits_progress_to_stderr(capsys):
+    outcome = map_points(
+        _double, [1, 2], workers=1, progress=True, progress_label="demo"
+    )
+    assert outcome.results == [2, 4]
+    err = capsys.readouterr().err
+    assert "[demo]" in err and "2/2 (100%)" in err
+
+
+def test_map_points_silent_by_default(capsys):
+    map_points(_double, [1, 2], workers=1)
+    assert capsys.readouterr().err == ""
 
 
 # -- end-to-end determinism ---------------------------------------------------

@@ -6,10 +6,7 @@ from repro.sim import (
     AllOf,
     AnyOf,
     Environment,
-    Event,
     Interrupt,
-    PENDING,
-    Timeout,
 )
 
 
