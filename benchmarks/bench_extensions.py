@@ -50,6 +50,19 @@ def test_cluster(benchmark, profile, emit):
     assert single["p99_ns"] < partitioned["p99_ns"]
 
 
+def test_rack(benchmark, profile, emit):
+    from repro.experiments import run_rack
+
+    result = run_once(benchmark, run_rack, profile=profile, seed=0)
+    emit(result)
+    ladder = result.data["ladder"]
+    # Fresh signals: JSQ(2) beats random spray on cluster-wide p99...
+    assert ladder[0]["advantage"] > 1.0
+    # ...and the advantage decays monotonically with signal staleness.
+    advantages = [entry["advantage"] for entry in ladder]
+    assert advantages == sorted(advantages, reverse=True)
+
+
 def test_validate(benchmark, profile, emit):
     from repro.experiments import run_validate
 

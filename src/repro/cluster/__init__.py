@@ -1,12 +1,13 @@
 """Multi-node cluster simulation (beyond the paper's single-chip setup)."""
 
-from .cluster import Cluster, ClusterNode, ClusterResult
+from .cluster import Cluster, ClusterNode, ClusterResult, mesh_geometry
 from .fabric import Fabric, PodFabric, UniformFabric
 
 __all__ = [
     "Cluster",
     "ClusterNode",
     "ClusterResult",
+    "mesh_geometry",
     "Fabric",
     "UniformFabric",
     "PodFabric",

@@ -3,18 +3,26 @@
 The paper's methodology models one chip and emulates its peers with a
 traffic generator. This package closes the loop: every node is a full
 simulated chip (cores, NIs, dispatcher, messaging buffers), each node
-generates open-loop Poisson RPC traffic to uniformly random peers, and
-send-slot flow control plus replenish routing run across a fabric with
-per-pair latencies. It answers deployment-level questions the
-single-chip setup cannot: end-to-end behaviour when every node is both
-client and server, and sensitivity to fabric topology.
+generates open-loop Poisson RPC traffic to its peers, and send-slot
+flow control plus replenish routing run across a fabric with per-pair
+latencies. It answers deployment-level questions the single-chip setup
+cannot: end-to-end behaviour when every node is both client and
+server, and sensitivity to fabric topology.
+
+Destinations default to uniformly random peers; installing a
+:class:`repro.rack.RackRouter` replaces that spray with a pluggable
+inter-server policy driven by (possibly stale) load signals — the
+two-level scheduling testbed the ``ext-rack`` experiment sweeps.
+Racks can be heterogeneous (``core_counts``/``speed_factors``), and
+``telemetry=True`` attaches per-node shared-CQ and send-slot-credit
+probes plus router decision/staleness instrumentation.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -25,7 +33,26 @@ from ..sim import Environment, RngRegistry, delayed_call
 from ..workloads import MicrobenchCosts, MicrobenchProgram, RpcWorkload
 from .fabric import Fabric, UniformFabric
 
-__all__ = ["Cluster", "ClusterNode", "ClusterResult"]
+if TYPE_CHECKING:  # pragma: no cover
+    from ..rack import RackRouter, RouterStats
+    from ..telemetry import TelemetrySnapshot
+
+__all__ = ["Cluster", "ClusterNode", "ClusterResult", "mesh_geometry"]
+
+
+def mesh_geometry(num_cores: int) -> Tuple[int, int]:
+    """A near-square (rows, cols) mesh with ``rows * cols == num_cores``.
+
+    Heterogeneous racks scale per-node core counts; the chip model
+    requires a rectangular mesh, so pick the most square factoring
+    (16 -> 4x4, 8 -> 2x4, 4 -> 2x2, 2 -> 1x2).
+    """
+    if num_cores < 1:
+        raise ValueError(f"num_cores must be >= 1, got {num_cores!r}")
+    rows = int(num_cores**0.5)
+    while rows > 1 and num_cores % rows:
+        rows -= 1
+    return rows, num_cores // rows
 
 
 def _peer_index(sender: int, receiver: int) -> int:
@@ -52,13 +79,14 @@ class ClusterNode:
         self._rngs = rngs
         self.chip = Chip(
             cluster.env,
-            cluster.config,
+            cluster.node_configs[node_id],
             MicrobenchProgram(cluster.costs),
             rngs,
         )
         scheme.install(self.chip, rngs.stream("dispatch"))
         self.chip.on_slot_replenished = self._replenish_returned
         slots = cluster.config.send_slots_per_node
+        self._slots_per_peer = slots
         #: Free send slots toward each destination node (by node id).
         self._free_slots: Dict[int, List[int]] = {
             dst: list(range(slots))
@@ -86,10 +114,19 @@ class ClusterNode:
         mean_gap_ns = 1e9 / per_node_rps
         peers = [n for n in range(self.cluster.num_nodes) if n != self.node_id]
         workload = self.cluster.workload
+        router = self.cluster.router
+        speeds = self.cluster.speed_factors
         for _ in range(num_requests):
             yield env.timeout(arrival_rng.exponential(mean_gap_ns))
-            dst = peers[int(peer_rng.integers(0, len(peers)))]
+            if router is not None:
+                dst = router.choose(self.node_id, peer_rng)
+            else:
+                dst = peers[int(peer_rng.integers(0, len(peers)))]
             service_ns, label = workload.sample(service_rng)
+            if speeds is not None:
+                # A node at speed s processes the same RPC in 1/s the
+                # time; slower nodes stretch it.
+                service_ns /= speeds[dst]
             self.generated += 1
             free = self._free_slots[dst]
             if free:
@@ -128,11 +165,26 @@ class ClusterNode:
         cluster uses zero-wire chips and applies fabric latency here.)
         """
         cluster = self.cluster
+        cluster.completed_total += 1
         sender_id = cluster.sender_of.pop(
             (self.node_id, msg.src_node, msg.slot)
         )
         delay = cluster.fabric.latency_ns(self.node_id, sender_id)
         sender = cluster.nodes[sender_id]
+        router = cluster.router
+        if router is not None:
+            # The completing server's load after this reply is what a
+            # piggybacked signal would report to the issuing client.
+            reported = router.on_complete(self.node_id)
+            if router.wants_reply_reports:
+                delayed_call(
+                    cluster.env,
+                    delay,
+                    router.deliver_report,
+                    sender_id,
+                    self.node_id,
+                    reported,
+                )
         delayed_call(
             cluster.env, delay, sender._slot_freed, self.node_id, msg.slot
         )
@@ -145,6 +197,21 @@ class ClusterNode:
         else:
             self._free_slots[dst].append(slot)
 
+    # -- observability -------------------------------------------------------
+
+    def slots_in_use(self) -> int:
+        """Send-slot credits currently held across all destinations."""
+        return sum(
+            self._slots_per_peer - len(free)
+            for free in self._free_slots.values()
+        )
+
+    def shared_cq_depth(self) -> int:
+        """Entries waiting in this node's dispatcher shared CQ(s)."""
+        return sum(
+            len(dispatcher.shared_cq) for dispatcher in self.chip.dispatchers
+        )
+
 
 @dataclass
 class ClusterResult:
@@ -156,6 +223,12 @@ class ClusterResult:
     total_throughput_mrps: float
     stall_fractions: List[float]
     completed: int
+    #: RPCs completed at each node (the server-side view of routing).
+    per_node_completed: List[int] = field(default_factory=list)
+    #: Routing behaviour, when a rack router drove destinations.
+    router_stats: Optional["RouterStats"] = None
+    #: Telemetry snapshot, when the cluster ran instrumented.
+    telemetry: Optional["TelemetrySnapshot"] = None
 
     @property
     def p99_ns(self) -> float:
@@ -167,6 +240,14 @@ class ClusterResult:
         if not means:
             return float("nan")
         return max(means) / min(means)
+
+    def slowdowns(self) -> List[float]:
+        """Per-node p99 relative to the best node's p99."""
+        tails = [summary.p99 for summary in self.per_node if summary.count]
+        if not tails:
+            return []
+        best = min(tails)
+        return [tail / best for tail in tails]
 
 
 class Cluster:
@@ -182,6 +263,11 @@ class Cluster:
         fabric: Optional[Fabric] = None,
         seed: int = 0,
         interference_factory: Optional[Callable[[int], object]] = None,
+        router: Optional["RackRouter"] = None,
+        core_counts: Optional[Sequence[int]] = None,
+        speed_factors: Optional[Sequence[float]] = None,
+        telemetry: bool = False,
+        telemetry_interval_ns: Optional[float] = None,
     ) -> None:
         if num_nodes < 2:
             raise ValueError(f"need at least 2 nodes, got {num_nodes!r}")
@@ -196,6 +282,32 @@ class Cluster:
         self.config = base_config.with_updates(
             num_nodes=num_nodes, wire_latency_ns=0.0
         )
+        #: Per-node chip configs; heterogeneous when ``core_counts``
+        #: varies (the mesh is refactored to stay rectangular).
+        if core_counts is not None:
+            if len(core_counts) != num_nodes:
+                raise ValueError(
+                    f"core_counts has {len(core_counts)} entries for "
+                    f"{num_nodes} nodes"
+                )
+            self.node_configs = [
+                self._config_for_cores(int(cores)) for cores in core_counts
+            ]
+        else:
+            self.node_configs = [self.config] * num_nodes
+        if speed_factors is not None:
+            if len(speed_factors) != num_nodes:
+                raise ValueError(
+                    f"speed_factors has {len(speed_factors)} entries for "
+                    f"{num_nodes} nodes"
+                )
+            if any(speed <= 0 for speed in speed_factors):
+                raise ValueError("speed_factors must be positive")
+            self.speed_factors: Optional[List[float]] = [
+                float(speed) for speed in speed_factors
+            ]
+        else:
+            self.speed_factors = None
         self.fabric = (
             fabric if fabric is not None else UniformFabric(num_nodes)
         )
@@ -205,15 +317,47 @@ class Cluster:
         self.env = Environment()
         #: (receiver, sender_perspective_index, slot) → sender node id.
         self.sender_of: Dict[Tuple[int, int, int], int] = {}
+        #: Completions across all nodes so far (drained-traffic check).
+        self.completed_total = 0
+        self._expected_total = 0
+        #: Rack-level scheduler; None keeps the historical uniform spray.
+        self.router = router
+        self.telemetry = telemetry
+        self.telemetry_interval_ns = telemetry_interval_ns
         self.nodes: List[ClusterNode] = [
             ClusterNode(self, node_id, scheme_factory())
             for node_id in range(num_nodes)
         ]
+        if router is not None:
+            router.bind(self)
         if interference_factory is not None:
             # Per-node §3.2 interference (e.g. one degraded node):
             # the factory returns None for healthy nodes.
             for node in self.nodes:
                 node.chip.interference = interference_factory(node.node_id)
+
+    def _config_for_cores(self, cores: int) -> ChipConfig:
+        """The cluster config rescaled to a node with ``cores`` cores."""
+        rows, cols = mesh_geometry(cores)
+        return self.config.with_updates(
+            num_cores=cores,
+            mesh_rows=rows,
+            mesh_cols=cols,
+            num_backends=min(self.config.num_backends, cores),
+        )
+
+    def capacity_weight(self, node_id: int) -> float:
+        """Relative service capacity of a node (cores x speed)."""
+        cores = self.node_configs[node_id].num_cores
+        speed = self.speed_factors[node_id] if self.speed_factors else 1.0
+        return cores * speed
+
+    def traffic_drained(self) -> bool:
+        """True once every generated request has completed."""
+        return (
+            self._expected_total > 0
+            and self.completed_total >= self._expected_total
+        )
 
     def run(
         self,
@@ -228,6 +372,21 @@ class Cluster:
             raise ValueError(
                 f"requests_per_node must be positive, got {requests_per_node!r}"
             )
+        self._expected_total = self.num_nodes * requests_per_node
+        hub = None
+        if self.telemetry:
+            from ..telemetry import TelemetryHub, instrument_cluster
+
+            interval = self.telemetry_interval_ns
+            if interval is None:
+                # ~200 sampler ticks across the expected injection window.
+                duration_ns = requests_per_node / (per_node_mrps * 1e6) * 1e9
+                interval = max(duration_ns / 200.0, 1.0)
+            hub = TelemetryHub(sample_interval=interval)
+            instrument_cluster(self, hub)
+            self.env.attach_sampler(hub.make_sampler())
+        if self.router is not None:
+            self.router.start()
         for node in self.nodes:
             node.start_traffic(per_node_mrps * 1e6, requests_per_node)
         self.env.run()
@@ -256,4 +415,9 @@ class Cluster:
                 for node in self.nodes
             ],
             completed=completed,
+            per_node_completed=[
+                node.chip.stats.completed for node in self.nodes
+            ],
+            router_stats=self.router.stats if self.router is not None else None,
+            telemetry=hub.snapshot() if hub is not None else None,
         )

@@ -31,6 +31,7 @@ from .persistence import (
     result_to_dict,
     save_result,
 )
+from .rack import run_rack
 from .sensitivity import run_sensitivity
 
 __all__ = [
@@ -60,6 +61,7 @@ __all__ = [
     "run_dynamic_slots",
     "run_validate",
     "run_cluster",
+    "run_rack",
     "run_bursts",
     "run_rss_spray",
     "run_outstanding_ablation",

@@ -42,6 +42,7 @@ from .fig7 import run_fig7a, run_fig7b, run_fig7c
 from .fig8 import run_fig8
 from .fig9 import run_fig9
 from .headline import run_headline
+from .rack import run_rack
 from .sensitivity import run_sensitivity
 
 __all__ = ["EXPERIMENTS", "main", "collect_sweeps"]
@@ -69,6 +70,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "validate": run_validate,
     "sensitivity": run_sensitivity,
     "ext-cluster": run_cluster,
+    "ext-rack": run_rack,
     "ext-bursts": run_bursts,
     "ablation-rss-spray": run_rss_spray,
 }

@@ -285,6 +285,29 @@ def run_validate(
     )
 
 
+def _run_cluster_task(task) -> Dict[str, float]:
+    """One cluster run of one per-node dispatch scheme (pool-safe).
+
+    The task carries the experiment seed verbatim (not a spawned child
+    seed): each scheme's cluster was always built from the same seed,
+    so the historical ext-cluster numbers survive the fan-out.
+    """
+    scheme, num_nodes, per_node_mrps, requests_per_node, seed = task
+    from ..balancing import Partitioned
+    from ..cluster import Cluster
+
+    factory = {"16x1/node": Partitioned, "1x16/node": SingleQueue}[scheme]
+    cluster = Cluster(num_nodes=num_nodes, scheme_factory=factory, seed=seed)
+    result = cluster.run(
+        per_node_mrps=per_node_mrps, requests_per_node=requests_per_node
+    )
+    return {
+        "p99_ns": result.p99_ns,
+        "total_tput_mrps": result.total_throughput_mrps,
+        "imbalance": result.imbalance(),
+    }
+
+
 def run_cluster(
     profile: str = "quick", seed: int = 0, workers: Optional[int] = None
 ) -> ExperimentResult:
@@ -293,33 +316,35 @@ def run_cluster(
     Beyond the paper's single-chip methodology: every node is both
     client and server; send-slot credits cross the fabric. Compares
     per-node RPCValet (1x16) against RSS-style partitioning (16x1)
-    cluster-wide, and reports cross-node balance.
+    cluster-wide, and reports cross-node balance. The two scheme runs
+    are independent, so they fan through :func:`repro.runner.map_points`
+    (``--workers`` / ``REPRO_WORKERS``) with bit-identical results at
+    any worker count.
     """
-    from ..balancing import Partitioned
-    from ..cluster import Cluster
-
     prof = get_profile(profile)
     num_nodes = 4
     requests_per_node = max(prof.arch_requests // 2, 2_000)
     per_node_mrps = 22.0  # ~76% of each node's HERD capacity
 
+    names = ["16x1/node", "1x16/node"]
+    outcome = map_points(
+        _run_cluster_task,
+        [(name, num_nodes, per_node_mrps, requests_per_node, seed)
+         for name in names],
+        workers=workers,
+        labels=names,
+        progress_label="ext-cluster",
+    )
     rows: List[List[object]] = []
     data: Dict[str, Dict[str, float]] = {}
-    for factory, name in ((Partitioned, "16x1/node"), (SingleQueue, "1x16/node")):
-        cluster = Cluster(
-            num_nodes=num_nodes, scheme_factory=factory, seed=seed
-        )
-        result = cluster.run(
-            per_node_mrps=per_node_mrps, requests_per_node=requests_per_node
-        )
-        data[name] = {
-            "p99_ns": result.p99_ns,
-            "total_tput_mrps": result.total_throughput_mrps,
-            "imbalance": result.imbalance(),
-        }
+    for name, row in zip(names, outcome.results):
+        if row is None:
+            raise RuntimeError(
+                f"cluster scheme {name!r} failed: {outcome.findings()}"
+            )
+        data[name] = row
         rows.append(
-            [name, result.total_throughput_mrps, result.p99_ns,
-             result.imbalance()]
+            [name, row["total_tput_mrps"], row["p99_ns"], row["imbalance"]]
         )
     table = format_table(
         ["scheme", "cluster tput (MRPS)", "p99 (ns)", "node imbalance"],

@@ -9,7 +9,14 @@ from .chrometrace import (
     telemetry_counter_events,
 )
 from .latency import LatencyRecorder, LatencySummary
-from .statistics import BatchMeansResult, batch_means_ci, mser5_truncation
+from .statistics import (
+    BatchMeansResult,
+    ImbalanceStats,
+    batch_means_ci,
+    cross_node_imbalance,
+    mser5_truncation,
+    slowdown_factors,
+)
 from .sweep import LoadSweep, SweepPoint, SweepResult, throughput_under_slo
 from .tables import format_table, sweep_table, sweeps_csv
 
@@ -27,6 +34,9 @@ __all__ = [
     "mser5_truncation",
     "batch_means_ci",
     "BatchMeansResult",
+    "ImbalanceStats",
+    "cross_node_imbalance",
+    "slowdown_factors",
     "LoadSweep",
     "SweepPoint",
     "SweepResult",

@@ -1,0 +1,162 @@
+"""RackRouter: the glue between rack policies, load signals, and the cluster.
+
+One router serves a whole :class:`repro.cluster.Cluster`. Every node's
+traffic generator asks it for a destination per RPC; the router asks
+the policy, which reads the load-signal model's (possibly stale)
+estimates. The router also owns the ground truth those estimates chase:
+``outstanding[j]`` — RPCs routed to node *j* and not yet completed —
+incremented at each routing decision, decremented when node *j* posts
+the replenish.
+
+Observability: per-destination decision counts and (for load-aware
+policies) the absolute estimate error at each decision, both as plain
+stats (always on, O(1) per decision) and as telemetry counters /
+staleness-error histograms when the cluster runs instrumented.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+import numpy as np
+
+from .policies import RackPolicy, ZipfDestinations, make_policy
+from .signals import LoadSignal, make_signal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.cluster import Cluster
+
+__all__ = ["RackRouter", "RouterStats"]
+
+
+@dataclass
+class RouterStats:
+    """Routing behaviour of one cluster run."""
+
+    policy: str
+    signal: str
+    skew: float
+    #: RPCs routed to each node, node-id indexed.
+    routed: List[int] = field(default_factory=list)
+    decisions: int = 0
+    #: Sum/count of |estimate - true load| at load-aware decisions.
+    signal_error_sum: float = 0.0
+    signal_error_count: int = 0
+
+    @property
+    def mean_signal_error(self) -> float:
+        """Mean absolute staleness error, in outstanding RPCs."""
+        if self.signal_error_count == 0:
+            return 0.0
+        return self.signal_error_sum / self.signal_error_count
+
+    def routed_fractions(self) -> List[float]:
+        total = sum(self.routed)
+        if total == 0:
+            return [0.0] * len(self.routed)
+        return [count / total for count in self.routed]
+
+
+class RackRouter:
+    """Client-side inter-server scheduler for one cluster.
+
+    Parameters
+    ----------
+    policy:
+        A :class:`RackPolicy` instance or spec string (``"jsq2"``...).
+    signal:
+        A :class:`LoadSignal` instance or spec string (``"fresh"``,
+        ``"piggyback"``, ``"broadcast:<ns>"``).
+    skew:
+        Zipf exponent of destination popularity (0 = uniform).
+    """
+
+    def __init__(
+        self,
+        policy: "RackPolicy | str" = "random",
+        signal: "LoadSignal | str" = "fresh",
+        skew: float = 0.0,
+    ) -> None:
+        self.policy = make_policy(policy) if isinstance(policy, str) else policy
+        self.signal = make_signal(signal) if isinstance(signal, str) else signal
+        self.skew = skew
+        self.cluster: Optional["Cluster"] = None
+        self.num_nodes = 0
+        #: Ground truth: RPCs routed to node j and not yet completed.
+        self.outstanding: List[int] = []
+        self.destinations: Optional[ZipfDestinations] = None
+        self.capacities: Dict[int, float] = {}
+        self.stats = RouterStats(
+            policy=self.policy.label, signal=self.signal.label, skew=skew
+        )
+        #: Telemetry hooks, installed by
+        #: :func:`repro.telemetry.instrument_cluster` (None = disabled).
+        self.decision_counters: Optional[List] = None
+        self.staleness_hist = None
+
+    # -- wiring -----------------------------------------------------------
+
+    def bind(self, cluster: "Cluster") -> None:
+        """Attach to ``cluster`` (called by the cluster constructor)."""
+        self.cluster = cluster
+        self.num_nodes = cluster.num_nodes
+        self.outstanding = [0] * self.num_nodes
+        self.stats.routed = [0] * self.num_nodes
+        self.destinations = ZipfDestinations(self.num_nodes, self.skew)
+        self.capacities = {
+            node: cluster.capacity_weight(node) for node in range(self.num_nodes)
+        }
+        self.signal.bind(self)
+
+    def start(self) -> None:
+        """Traffic is about to start (spawns broadcast processes)."""
+        self.signal.start()
+
+    # -- the decision -----------------------------------------------------
+
+    def choose(self, client: int, rng: np.random.Generator) -> int:
+        """Route one RPC issued by ``client``; returns the server id."""
+        signal = self.signal
+        estimates = {
+            int(node): signal.estimate(client, int(node))
+            for node in self.destinations.peers_of(client)
+        }
+        dst = self.policy.choose(
+            client, self.destinations, estimates, self.capacities, rng
+        )
+        if self.policy.uses_load_signal:
+            error = abs(estimates[dst] - self.outstanding[dst])
+            self.stats.signal_error_sum += error
+            self.stats.signal_error_count += 1
+            if self.staleness_hist is not None:
+                self.staleness_hist.record(error)
+        self.outstanding[dst] += 1
+        self.stats.routed[dst] += 1
+        self.stats.decisions += 1
+        if self.decision_counters is not None:
+            self.decision_counters[dst].inc()
+        return dst
+
+    # -- completion feedback ----------------------------------------------
+
+    def on_complete(self, server: int) -> float:
+        """Node ``server`` completed one RPC; returns its load *after*.
+
+        The returned value is what a reply leaving now would report —
+        the cluster delivers it to the issuing client via
+        :meth:`deliver_report` after the fabric delay when the signal
+        model wants reply piggybacking.
+        """
+        self.outstanding[server] -= 1
+        return float(self.outstanding[server])
+
+    @property
+    def wants_reply_reports(self) -> bool:
+        from .signals import PiggybackSignal
+
+        return isinstance(self.signal, PiggybackSignal)
+
+    def deliver_report(self, client: int, server: int, load: float) -> None:
+        """A reply-piggybacked load report reached ``client``."""
+        self.signal.on_reply(client, server, load)

@@ -39,7 +39,7 @@ from .primitives import (
     TimeSeries,
     merge_histograms,
 )
-from .probes import instrument_chip
+from .probes import instrument_chip, instrument_cluster
 
 __all__ = [
     "Counter",
@@ -53,6 +53,7 @@ __all__ = [
     "TelemetrySnapshot",
     "merge_snapshots",
     "instrument_chip",
+    "instrument_cluster",
     "snapshot_jsonl_lines",
     "write_snapshot_jsonl",
     "series_csv",

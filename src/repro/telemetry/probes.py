@@ -28,8 +28,9 @@ from .hub import TelemetryHub
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..arch.chip import Chip
+    from ..cluster.cluster import Cluster
 
-__all__ = ["instrument_chip"]
+__all__ = ["instrument_chip", "instrument_cluster"]
 
 #: Canonical metric names used by :func:`instrument_chip`.
 PRIVATE_CQ_DEPTH = "arch.private_cq_depth"
@@ -88,4 +89,52 @@ def instrument_chip(chip: "Chip", hub: TelemetryHub) -> TelemetryHub:
             lambda b=backend: len(b._pipeline),
         )
     hub.add_probe("recv_slots", lambda rb=chip.receive_buffer: rb.occupied)
+    return hub
+
+
+#: Canonical metric name of the router staleness-error histogram.
+RACK_SIGNAL_ERROR = "rack.signal_error"
+
+
+def instrument_cluster(cluster: "Cluster", hub: TelemetryHub) -> TelemetryHub:
+    """Attach cluster-level probes to every node of ``cluster``.
+
+    Periodic probes (→ Perfetto counter tracks), all off unless the
+    cluster was built with ``telemetry=True``:
+
+    * ``shared_cq[node{i}]`` — entries waiting in node *i*'s dispatcher
+      shared CQ(s), the server-side backlog rack routing reacts to;
+    * ``send_credits[node{i}]`` — send-slot credits node *i* currently
+      holds across the fabric (cross-node flow-control pressure);
+    * ``rack.outstanding[node{i}]`` — the router's ground-truth
+      outstanding-load gauge per destination (router runs only).
+
+    Event-driven rack instrumentation (router runs only): one routed
+    counter per destination plus the total decision counter, and a
+    histogram of |estimate - true load| at each load-aware decision
+    (:data:`RACK_SIGNAL_ERROR` — the staleness error the ``ext-rack``
+    sweep studies).
+    """
+    for node in cluster.nodes:
+        hub.add_probe(
+            f"shared_cq[node{node.node_id}]",
+            lambda n=node: n.shared_cq_depth(),
+        )
+    for node in cluster.nodes:
+        hub.add_probe(
+            f"send_credits[node{node.node_id}]",
+            lambda n=node: n.slots_in_use(),
+        )
+    router = cluster.router
+    if router is not None:
+        for node_id in range(cluster.num_nodes):
+            hub.add_probe(
+                f"rack.outstanding[node{node_id}]",
+                lambda r=router, i=node_id: r.outstanding[i],
+            )
+        router.decision_counters = [
+            hub.counter(f"rack.routed[node{node_id}]")
+            for node_id in range(cluster.num_nodes)
+        ]
+        router.staleness_hist = hub.histogram(RACK_SIGNAL_ERROR)
     return hub
