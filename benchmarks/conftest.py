@@ -64,10 +64,14 @@ def pytest_sessionfinish(session, exitstatus):
     """Persist per-figure wall-clock timings for cross-commit tracking."""
     if not _TIMINGS:
         return
+    from repro.runner import resolve_workers
+
     OUTPUT_DIR.mkdir(exist_ok=True)
     payload = {
         "profile": PROFILE,
-        "workers": os.environ.get("REPRO_WORKERS", ""),
+        # The resolved integer (REPRO_WORKERS, else 1 = serial), not the
+        # raw env string — "" used to land here when the var was unset.
+        "workers": resolve_workers(),
         "wall_clock_s": dict(sorted(_TIMINGS.items())),
     }
     path = OUTPUT_DIR / "bench_timings.json"

@@ -29,6 +29,7 @@ from .cpu import Core, CoreProgram
 from .frontend import NIFrontend
 from .mesh import Mesh
 from .packets import OneSidedWrite, SendMessage
+from .protocol import make_send
 
 __all__ = ["Chip", "ChipStats"]
 
@@ -109,6 +110,10 @@ class Chip:
         #: Telemetry hub, set by :func:`repro.telemetry.instrument_chip`
         #: (None = telemetry disabled; instrumented sites stay no-ops).
         self.telemetry = None
+        #: Recycled SendMessage records (see :meth:`make_send`); only
+        #: populated while ``completed_messages`` is None, because a
+        #: kept message must never be reset under the keeper.
+        self._message_pool: List[SendMessage] = []
 
     # -- scheme installation ---------------------------------------------------
 
@@ -122,6 +127,33 @@ class Chip:
         self.per_request_core_overhead_ns = core_overhead_ns
 
     # -- network-facing entry points ------------------------------------------
+
+    def make_send(
+        self,
+        msg_id: int,
+        src_node: int,
+        slot: int,
+        size_bytes: int,
+        service_ns: float,
+        label: str = "rpc",
+    ) -> SendMessage:
+        """Build a send operation, recycling a completed record if any.
+
+        Same contract as :func:`repro.arch.protocol.make_send`; traffic
+        sources go through this so one pool of ~max-in-flight message
+        records serves the whole run instead of one allocation per RPC.
+        """
+        pool = self._message_pool
+        return make_send(
+            self.config,
+            msg_id=msg_id,
+            src_node=src_node,
+            slot=slot,
+            size_bytes=size_bytes,
+            service_ns=service_ns,
+            label=label,
+            recycle=pool.pop() if pool else None,
+        )
 
     def submit_message(self, msg: SendMessage) -> None:
         """A send message reaches the chip's NI (time = ``env.now``).
@@ -216,14 +248,22 @@ class Chip:
             backend_id = self._nearest_backend(core.core_id)
             self.backends[backend_id].send_reply(reply_packets)
         # 4. The replenish packet reaches the source node one wire
-        #    latency later and frees the sender's send slot.
+        #    latency later and frees the sender's send slot. The record
+        #    is recycled once that callback (the last reader) has run.
         if self.on_slot_replenished is not None:
             delayed_call(
                 self.env,
                 config.wire_latency_ns,
-                self.on_slot_replenished,
+                self._replenish_arrived,
                 msg,
             )
+        elif self.completed_messages is None:
+            self._message_pool.append(msg)
+
+    def _replenish_arrived(self, msg: SendMessage) -> None:
+        self.on_slot_replenished(msg)
+        if self.completed_messages is None:
+            self._message_pool.append(msg)
 
     def _nearest_backend(self, core_id: int) -> int:
         row = core_id // self.config.mesh_cols

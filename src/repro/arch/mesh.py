@@ -10,21 +10,71 @@ the paper treats the indirection cost as "a few ns" of pure latency.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Dict, Tuple
 
 from .config import ChipConfig
 
 __all__ = ["Mesh"]
 
+#: Precomputed route tables per mesh geometry, shared by every Mesh
+#: built with that geometry (sweeps build one chip per task; the tables
+#: depend only on these five config fields). Each value is
+#: ``(backend_to_core_ns, backend_to_backend_ns, mean_backend_to_core_ns)``
+#: as nested tuples indexed by id.
+_ROUTE_TABLES: Dict[Tuple[int, int, float, int, int], tuple] = {}
+
+
+def _route_tables(
+    rows: int, cols: int, hop_ns: float, num_cores: int, num_backends: int
+) -> tuple:
+    key = (rows, cols, hop_ns, num_cores, num_backends)
+    tables = _ROUTE_TABLES.get(key)
+    if tables is not None:
+        return tables
+    core_pos = [divmod(core, cols) for core in range(num_cores)]
+    backend_pos = [
+        (backend * rows // num_backends, -1) for backend in range(num_backends)
+    ]
+    b2c = tuple(
+        tuple(
+            hop_ns * (abs(br - cr) + abs(bc - cc))
+            for cr, cc in core_pos
+        )
+        for br, bc in backend_pos
+    )
+    b2b = tuple(
+        tuple(
+            hop_ns * (abs(sr - dr) + abs(sc - dc))
+            for dr, dc in backend_pos
+        )
+        for sr, sc in backend_pos
+    )
+    mean_b2c = tuple(sum(row) / num_cores for row in b2c)
+    tables = _ROUTE_TABLES[key] = (b2c, b2b, mean_b2c)
+    return tables
+
 
 class Mesh:
-    """Hop distances between cores and NI backends on the tiled chip."""
+    """Hop distances between cores and NI backends on the tiled chip.
+
+    All pairwise latencies are precomputed into per-geometry route
+    tables shared across instances (see :data:`_ROUTE_TABLES`), so the
+    per-message queries on the simulator's hot path are tuple indexing
+    instead of position/hop arithmetic.
+    """
 
     def __init__(self, config: ChipConfig) -> None:
         self.config = config
         self._rows = config.mesh_rows
         self._cols = config.mesh_cols
         self._hop_ns = config.mesh_hop_ns
+        self._b2c, self._b2b, self._mean_b2c = _route_tables(
+            self._rows,
+            self._cols,
+            self._hop_ns,
+            config.num_cores,
+            config.num_backends,
+        )
 
     def core_position(self, core_id: int) -> Tuple[int, int]:
         """(row, col) tile of a core (row-major numbering)."""
@@ -49,9 +99,16 @@ class Mesh:
 
     def backend_to_core_ns(self, backend_id: int, core_id: int) -> float:
         """Latency of a packet from a backend to a core's frontend."""
-        return self._hop_ns * self.hops(
-            self.backend_position(backend_id), self.core_position(core_id)
-        )
+        if backend_id < 0 or core_id < 0:
+            raise ValueError(
+                f"id ({backend_id!r}, {core_id!r}) out of range"
+            )
+        try:
+            return self._b2c[backend_id][core_id]
+        except IndexError:
+            raise ValueError(
+                f"id ({backend_id!r}, {core_id!r}) out of range"
+            ) from None
 
     def core_to_backend_ns(self, core_id: int, backend_id: int) -> float:
         """Latency of a packet from a core's frontend to a backend."""
@@ -64,14 +121,22 @@ class Mesh:
         dispatcher. Backends sit on the same edge column, so the
         distance is their row gap.
         """
-        return self._hop_ns * self.hops(
-            self.backend_position(src), self.backend_position(dst)
-        )
+        if src < 0 or dst < 0:
+            raise ValueError(f"backend id ({src!r}, {dst!r}) out of range")
+        try:
+            return self._b2b[src][dst]
+        except IndexError:
+            raise ValueError(
+                f"backend id ({src!r}, {dst!r}) out of range"
+            ) from None
 
     def mean_backend_to_core_ns(self, backend_id: int) -> float:
         """Average dispatch latency from one backend to all cores."""
-        total = sum(
-            self.backend_to_core_ns(backend_id, core)
-            for core in range(self.config.num_cores)
-        )
-        return total / self.config.num_cores
+        if backend_id < 0:
+            raise ValueError(f"backend_id {backend_id!r} out of range")
+        try:
+            return self._mean_b2c[backend_id]
+        except IndexError:
+            raise ValueError(
+                f"backend_id {backend_id!r} out of range"
+            ) from None

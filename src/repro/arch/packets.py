@@ -49,6 +49,27 @@ class SendMessage:
         service_ns: float,
         label: str = "rpc",
     ) -> None:
+        self.reset(
+            msg_id, src_node, slot, size_bytes, num_packets, service_ns, label
+        )
+
+    def reset(
+        self,
+        msg_id: int,
+        src_node: int,
+        slot: int,
+        size_bytes: int,
+        num_packets: int,
+        service_ns: float,
+        label: str = "rpc",
+    ) -> "SendMessage":
+        """(Re)initialize every field — the recycling hook.
+
+        :meth:`Chip.make_send` pools completed messages and resets them
+        here instead of allocating; every slot (including the
+        rendezvous-path mutations of ``num_packets``/``extra_pre_ns``
+        and all timestamps) must be restored to construction state.
+        """
         if service_ns < 0:
             raise ValueError(f"service_ns must be non-negative, got {service_ns!r}")
         if num_packets <= 0:
@@ -78,6 +99,7 @@ class SendMessage:
         self.t_dispatch: Optional[float] = None
         self.t_start: Optional[float] = None
         self.t_replenish: Optional[float] = None
+        return self
 
     @property
     def latency_ns(self) -> float:

@@ -9,6 +9,8 @@ header so the receiving NI can detect completion).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from .config import ChipConfig
 from .packets import Replenish, SendMessage
 
@@ -23,17 +25,30 @@ def make_send(
     size_bytes: int,
     service_ns: float,
     label: str = "rpc",
+    recycle: Optional[SendMessage] = None,
 ) -> SendMessage:
     """Build a send operation, packetized per the chip's MTU.
 
     Oversized payloads (> ``max_msg_bytes``) are *not* rejected: the
     chip converts them to a rendezvous transfer on arrival (§4.2).
+    When ``recycle`` is given (a completed message from the chip's
+    pool), it is reset in place instead of allocating a new record.
     """
     if not 0 <= src_node < config.num_remote_nodes:
         raise ValueError(f"src_node {src_node!r} out of range")
     if not 0 <= slot < config.send_slots_per_node:
         raise ValueError(f"slot {slot!r} out of range")
     num_packets = config.packets_for(min(size_bytes, config.max_msg_bytes))
+    if recycle is not None:
+        return recycle.reset(
+            msg_id=msg_id,
+            src_node=src_node,
+            slot=slot,
+            size_bytes=size_bytes,
+            num_packets=num_packets,
+            service_ns=service_ns,
+            label=label,
+        )
     return SendMessage(
         msg_id=msg_id,
         src_node=src_node,

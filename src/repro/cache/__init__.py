@@ -1,0 +1,130 @@
+"""Content-addressed, on-disk result caching for sweep tasks.
+
+Every sweep task in this repository is a pure function of its config
+and seed (the determinism contract of :mod:`repro.runner`), which makes
+results content-addressable: a canonical hash of *(callable, task
+config, seed, sim-code fingerprint)* names the result forever. This
+package stores those results on disk so re-running an experiment whose
+inputs have not changed returns instantly — and any change to the sim
+code, the config, or the seed naturally misses.
+
+Control surface
+---------------
+* CLI: ``--cache`` / ``--no-cache`` / ``--cache-dir DIR`` on
+  ``python -m repro.experiments``;
+* environment: ``REPRO_CACHE=1`` (default directory), ``REPRO_CACHE=0``
+  (off), or ``REPRO_CACHE=/path/to/dir`` (on, at that directory);
+* API: :func:`set_cache` (process-wide override), or pass
+  ``cache=True/False`` / a :class:`ResultCache` to
+  :func:`repro.runner.map_points`.
+
+The cache defaults to **off** so plain test/benchmark runs measure real
+compute; opt in per run. ``repro.cache.cache_stats()`` aggregates
+hit/miss/store/error counters across every cache instance the process
+touched.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Dict, Optional, Union
+
+from .fingerprint import Unfingerprintable, code_fingerprint, fingerprint
+from .store import CACHE_VERSION, CacheEntry, CacheStats, ResultCache
+
+__all__ = [
+    "CACHE_VERSION",
+    "ENV_CACHE",
+    "CacheEntry",
+    "CacheStats",
+    "ResultCache",
+    "Unfingerprintable",
+    "cache_enabled",
+    "cache_stats",
+    "code_fingerprint",
+    "default_cache_dir",
+    "fingerprint",
+    "get_cache",
+    "resolve_cache",
+    "set_cache",
+]
+
+#: Environment variable: "1"/"true" enables the default directory,
+#: "0"/"false"/"" disables, anything else is a cache directory path.
+ENV_CACHE = "REPRO_CACHE"
+
+_FALSY = ("", "0", "false", "no", "off")
+_TRUTHY = ("1", "true", "yes", "on")
+
+#: Process-wide override installed by the CLI (None = env decides).
+_ENABLED_OVERRIDE: Optional[bool] = None
+_DIR_OVERRIDE: Optional[pathlib.Path] = None
+
+#: One ResultCache per directory, so stats accumulate per location.
+_INSTANCES: Dict[pathlib.Path, ResultCache] = {}
+
+
+def set_cache(
+    enabled: Optional[bool] = None, directory: Optional[Union[str, os.PathLike]] = None
+) -> None:
+    """Force caching on/off process-wide (None = env decides)."""
+    global _ENABLED_OVERRIDE, _DIR_OVERRIDE
+    _ENABLED_OVERRIDE = enabled
+    _DIR_OVERRIDE = pathlib.Path(directory) if directory is not None else None
+
+
+def cache_enabled() -> bool:
+    """Effective cache switch: override, else ``REPRO_CACHE``."""
+    if _ENABLED_OVERRIDE is not None:
+        return _ENABLED_OVERRIDE
+    raw = os.environ.get(ENV_CACHE, "").strip().lower()
+    return raw not in _FALSY
+
+
+def default_cache_dir() -> pathlib.Path:
+    """Cache root: override, else a ``REPRO_CACHE`` path, else ~/.cache."""
+    if _DIR_OVERRIDE is not None:
+        return _DIR_OVERRIDE
+    raw = os.environ.get(ENV_CACHE, "").strip()
+    if raw and raw.lower() not in _FALSY and raw.lower() not in _TRUTHY:
+        return pathlib.Path(raw)
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return pathlib.Path(base) / "rpcvalet-repro"
+
+
+def get_cache(directory: Optional[Union[str, os.PathLike]] = None) -> ResultCache:
+    """The (per-process singleton) cache instance for a directory."""
+    root = pathlib.Path(directory) if directory is not None else default_cache_dir()
+    instance = _INSTANCES.get(root)
+    if instance is None:
+        instance = _INSTANCES[root] = ResultCache(root)
+    return instance
+
+
+def resolve_cache(
+    cache: Union[None, bool, ResultCache] = None,
+) -> Optional[ResultCache]:
+    """Resolve a ``map_points``-style cache argument to an instance.
+
+    ``None`` defers to :func:`set_cache` / ``REPRO_CACHE``; ``False``
+    disables regardless; ``True`` enables at the configured directory;
+    a :class:`ResultCache` is used as-is.
+    """
+    if isinstance(cache, ResultCache):
+        return cache
+    if cache is False:
+        return None
+    if cache is None and not cache_enabled():
+        return None
+    return get_cache()
+
+
+def cache_stats() -> CacheStats:
+    """Aggregate stats over every cache instance this process touched."""
+    total = CacheStats()
+    for instance in _INSTANCES.values():
+        total.merge(instance.stats)
+    return total

@@ -1,0 +1,230 @@
+"""Canonical content hashing for cache keys.
+
+Two fingerprints make up a cache key:
+
+* :func:`fingerprint` — a canonical SHA-256 of an arbitrary task object
+  graph. Unlike ``pickle`` bytes, the encoding is explicitly specified
+  (type-tagged, dict/set entries sorted by their own canonical hash,
+  floats hashed by IEEE-754 bits), so it is stable across processes,
+  interpreter versions, and hash randomization.
+* :func:`code_fingerprint` — a SHA-256 over the source bytes of every
+  simulation-relevant module in the ``repro`` package. Any edit to the
+  simulators, workloads, schemes, or metrics changes the fingerprint
+  and therefore invalidates every cached result, without ever having
+  to reason about which change was behaviorally relevant.
+
+Objects that cannot be canonically encoded (open files, generators,
+live RNGs) raise :class:`Unfingerprintable`; the runner treats such
+tasks as uncacheable and simply computes them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import math
+import pathlib
+import struct
+from functools import lru_cache
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["Unfingerprintable", "fingerprint", "code_fingerprint", "SIM_MODULES"]
+
+
+class Unfingerprintable(TypeError):
+    """Raised when an object graph has no canonical encoding."""
+
+
+#: Subpackages (and files) of ``repro`` whose source participates in
+#: the code fingerprint — everything that can change a simulated
+#: result. Deliberately excluded: ``experiments`` (drivers/formatting),
+#: ``runner`` (scheduling only; each task carries its own seed), and
+#: ``cache`` itself (versioned via :data:`repro.cache.store.CACHE_VERSION`).
+SIM_MODULES: Tuple[str, ...] = (
+    "__init__.py",
+    "arch",
+    "balancing",
+    "cluster",
+    "core",
+    "dists",
+    "metrics",
+    "queueing",
+    "rack",
+    "sim",
+    "store",
+    "telemetry",
+    "workloads",
+)
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Hash of the sim modules' source bytes (memoized per process)."""
+    import repro
+
+    root = pathlib.Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    for name in SIM_MODULES:
+        path = root / name
+        files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for source in files:
+            try:
+                data = source.read_bytes()
+            except OSError:  # pragma: no cover - racing editors
+                continue
+            digest.update(str(source.relative_to(root)).encode("utf-8"))
+            digest.update(b"\x00")
+            digest.update(data)
+            digest.update(b"\x00")
+    return digest.hexdigest()[:20]
+
+
+def fingerprint(obj: object) -> str:
+    """Canonical SHA-256 hex digest of an arbitrary object graph."""
+    digest = hashlib.sha256()
+    _encode(obj, digest.update, set())
+    return digest.hexdigest()
+
+
+def _sub_digest(obj: object, seen: set) -> bytes:
+    """Digest of one sub-object (used to sort dict/set entries)."""
+    digest = hashlib.sha256()
+    _encode(obj, digest.update, seen)
+    return digest.digest()
+
+
+def _encode(obj: object, update, seen: set) -> None:  # noqa: C901 - a visitor
+    if obj is None:
+        update(b"n;")
+        return
+    if obj is True:
+        update(b"b1;")
+        return
+    if obj is False:
+        update(b"b0;")
+        return
+    kind = type(obj)
+    if kind is int:
+        update(b"i" + str(obj).encode("ascii") + b";")
+        return
+    if kind is float:
+        # IEEE-754 bits: exact, distinguishes -0.0/0.0, stable for NaN.
+        bits = struct.pack("<d", math.nan if math.isnan(obj) else obj)
+        update(b"f" + bits)
+        return
+    if kind is str:
+        data = obj.encode("utf-8")
+        update(b"s%d:" % len(data) + data)
+        return
+    if kind is bytes:
+        update(b"y%d:" % len(obj) + obj)
+        return
+    # Containers and everything else may recurse: guard against cycles.
+    marker = id(obj)
+    if marker in seen:
+        raise Unfingerprintable(f"cyclic object graph at {type(obj).__name__}")
+    seen.add(marker)
+    try:
+        if kind in (tuple, list):
+            update(b"t(" if kind is tuple else b"l(")
+            for item in obj:
+                _encode(item, update, seen)
+            update(b")")
+        elif kind is dict:
+            update(b"d(")
+            entries = sorted(
+                (_sub_digest(key, seen), key, value) for key, value in obj.items()
+            )
+            for _, key, value in entries:
+                _encode(key, update, seen)
+                _encode(value, update, seen)
+            update(b")")
+        elif kind in (set, frozenset):
+            update(b"S(")
+            for item_digest in sorted(_sub_digest(item, seen) for item in obj):
+                update(item_digest)
+            update(b")")
+        elif isinstance(obj, np.ndarray):
+            update(b"a")
+            update(obj.dtype.str.encode("ascii"))
+            update(repr(obj.shape).encode("ascii"))
+            update(np.ascontiguousarray(obj).tobytes())
+        elif isinstance(obj, np.generic):
+            update(b"g")
+            update(obj.dtype.str.encode("ascii"))
+            update(obj.tobytes())
+        elif isinstance(obj, type) or isinstance(obj, _function_types()):
+            update(b"q" + _qualified_name(obj).encode("utf-8") + b";")
+        elif dataclasses.is_dataclass(obj):
+            update(b"D" + _qualified_name(type(obj)).encode("utf-8") + b"(")
+            for field in dataclasses.fields(obj):
+                update(field.name.encode("utf-8") + b"=")
+                _encode(getattr(obj, field.name), update, seen)
+            update(b")")
+        else:
+            _encode_instance(obj, update, seen)
+    finally:
+        seen.discard(marker)
+
+
+@lru_cache(maxsize=1)
+def _function_types() -> tuple:
+    import types
+
+    return (
+        types.FunctionType,
+        types.BuiltinFunctionType,
+        types.MethodType,
+    )
+
+
+def _qualified_name(obj) -> str:
+    module = getattr(obj, "__module__", "?")
+    qualname = getattr(obj, "__qualname__", getattr(obj, "__name__", repr(obj)))
+    return f"{module}.{qualname}"
+
+
+#: Types that have no canonical state worth hashing — caching a task
+#: containing one would be unsound, so refuse loudly.
+_REFUSED_MODULES = ("_io", "io", "socket", "threading", "multiprocessing")
+
+
+def _encode_instance(obj: object, update, seen: set) -> None:
+    """Encode an arbitrary instance by class identity + attribute state."""
+    import types
+
+    cls = type(obj)
+    if cls.__module__.split(".")[0] in _REFUSED_MODULES or isinstance(
+        obj, (types.GeneratorType, types.CoroutineType, np.random.Generator)
+    ):
+        raise Unfingerprintable(
+            f"{cls.__module__}.{cls.__name__} has no canonical encoding"
+        )
+    update(b"O" + _qualified_name(cls).encode("utf-8") + b"(")
+    state = {}
+    if hasattr(obj, "__dict__"):
+        state.update(obj.__dict__)
+    for klass in cls.__mro__:
+        for slot in getattr(klass, "__slots__", ()):
+            if slot in ("__dict__", "__weakref__") or slot in state:
+                continue
+            try:
+                state[slot] = getattr(obj, slot)
+            except AttributeError:
+                continue
+    if not state and not hasattr(obj, "__dict__"):
+        # No attribute state at all (e.g. object()): fall back to repr,
+        # which must at least be deterministic to be meaningful.
+        text = repr(obj)
+        if f"0x{id(obj):x}" in text:
+            raise Unfingerprintable(
+                f"{cls.__name__} has only an address-based repr"
+            )
+        update(text.encode("utf-8"))
+    else:
+        for name in sorted(state):
+            update(name.encode("utf-8") + b"=")
+            _encode(state[name], update, seen)
+    update(b")")

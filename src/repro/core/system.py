@@ -120,7 +120,12 @@ class RpcValetSystem:
         interference=None,
         telemetry: bool = False,
         telemetry_interval_ns: Optional[float] = None,
+        latency_mode: str = "exact",
     ) -> None:
+        if latency_mode not in ("exact", "streaming"):
+            raise ValueError(
+                f"latency_mode must be 'exact' or 'streaming', got {latency_mode!r}"
+            )
         self.scheme = scheme
         self.workload = workload
         self.config = config
@@ -142,6 +147,11 @@ class RpcValetSystem:
         #: Periodic-sampler tick in simulated ns; None derives ~200
         #: ticks from the run's expected duration.
         self.telemetry_interval_ns = telemetry_interval_ns
+        #: Latency accounting: "exact" keeps per-request records and
+        #: exact percentiles (the default — figure assertions depend on
+        #: it); "streaming" trades ≈1% percentile error for O(1) memory
+        #: via :class:`repro.metrics.StreamingLatencyRecorder`.
+        self.latency_mode = latency_mode
 
     @property
     def label(self) -> str:
@@ -195,6 +205,12 @@ class RpcValetSystem:
             raise ValueError(f"num_requests must be positive, got {num_requests!r}")
         rngs = RngRegistry(self.seed)
         chip = self._build(rngs)
+        if self.latency_mode == "streaming":
+            from ..metrics import StreamingLatencyRecorder
+
+            chip.recorder = StreamingLatencyRecorder(
+                expected_count=num_requests, warmup_fraction=warmup_fraction
+            )
         message_log: Optional[MessageLog] = None
         if keep_messages:
             message_log = MessageLog(max_messages)
@@ -336,6 +352,7 @@ def sweep_many(
     tasks: List[Tuple[RpcValetSystem, float, int, float, int]] = []
     labels: List[str] = []
     owners: List[str] = []
+    hints: List[float] = []
     for name, system in systems.items():
         seeds = spawn_point_seeds(experiment or name, name, system.seed, len(loads))
         for index, (load, seed) in enumerate(zip(loads, seeds)):
@@ -344,12 +361,15 @@ def sweep_many(
             # failure report pinpoints the exact simulation to rerun.
             labels.append(f"{name}[{index}]@{load:g} (seed {seed})")
             owners.append(name)
+            # Cold-cache scheduling hint: higher load simulates longer.
+            hints.append(load)
     outcome = map_points(
         run_point_task,
         tasks,
         workers=workers,
         labels=labels,
         progress_label=experiment or "sweep",
+        cost_hints=hints,
     )
     points: Dict[str, List[SweepPoint]] = {name: [] for name in systems}
     for owner, result in zip(owners, outcome.results):
@@ -383,5 +403,9 @@ def _warmup_cutoff(recorder, warmup_fraction: float) -> float:
 
     if warmup_fraction <= 0 or len(recorder) == 0:
         return 0.0
+    cutoff = getattr(recorder, "warmup_cutoff", None)
+    if cutoff is not None:
+        # Streaming recorder: warmup was applied at record time.
+        return cutoff()
     times = np.asarray(recorder._times)
     return float(np.quantile(times, warmup_fraction))

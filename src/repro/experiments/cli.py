@@ -124,6 +124,34 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--cache",
+        dest="cache",
+        action="store_true",
+        default=None,
+        help=(
+            "reuse cached sweep-point results from disk (also enabled by "
+            "REPRO_CACHE=1 or REPRO_CACHE=<dir>); results are bit-identical "
+            "to an uncached run"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        dest="cache",
+        action="store_false",
+        help="disable the result cache regardless of REPRO_CACHE",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="cache directory (default: $XDG_CACHE_HOME/rpcvalet-repro)",
+    )
+    parser.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="print cache hit/miss counters to stderr after each experiment",
+    )
+    parser.add_argument(
         "--chart",
         action="store_true",
         help="also render the sweep curves as text scatter plots",
@@ -144,6 +172,10 @@ def main(argv=None) -> int:
 
     if args.progress:
         set_progress(True)
+    if args.cache is not None or args.cache_dir is not None:
+        from ..cache import set_cache
+
+        set_cache(enabled=args.cache, directory=args.cache_dir)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         started = time.time()
@@ -187,6 +219,16 @@ def main(argv=None) -> int:
                     elapsed_s=elapsed,
                 )
                 print(f"[manifest {manifest_path}]")
+        if args.cache_stats:
+            from ..cache import cache_stats
+
+            # Stderr, so stdout stays byte-identical with/without the
+            # cache (CI diffs stdout across runs).
+            print(
+                f"[{name} cache {cache_stats().as_dict()}]",
+                file=sys.stderr,
+                flush=True,
+            )
         print(f"[{name} took {elapsed:.1f}s]\n")
     return 0
 

@@ -97,11 +97,29 @@ def calibrate_mean_service_ns(
     ``(workload, scheme, seed, num_requests)`` makes repeated figures in
     one process pay for it once. Keyed on the scheme because measured S̄
     includes scheme-imposed dequeue overheads.
+
+    The probe routes through :func:`repro.runner.map_points` (as a
+    single task) so it also consults the on-disk result cache across
+    processes when caching is enabled.
     """
     from ..core import make_system
+    from ..core.system import run_point_task
+    from ..runner import map_points
 
     system = make_system(scheme, workload, seed=seed)
-    return system.run_point(offered_mrps=1.0, num_requests=num_requests).mean_service_ns
+    outcome = map_points(
+        run_point_task,
+        [(system, 1.0, num_requests, 0.1, system.seed)],
+        workers=1,
+        labels=[f"calibrate {scheme}/{workload} (seed {seed})"],
+        progress=False,
+    )
+    result = outcome.results[0]
+    if result is None:
+        raise RuntimeError(
+            f"calibration run failed: {'; '.join(outcome.findings())}"
+        )
+    return result.mean_service_ns
 
 
 @dataclass

@@ -31,6 +31,17 @@ from ..telemetry import write_snapshot_jsonl
 __all__ = ["produce_trace", "main"]
 
 
+def _trace_point_task(task) -> object:
+    """One instrumented trace point (module-level: cacheable/picklable)."""
+    system, load, num_requests, max_messages = task
+    return system.run_point(
+        load,
+        num_requests=num_requests,
+        keep_messages=True,
+        max_messages=max_messages,
+    )
+
+
 def produce_trace(
     directory,
     scheme: str = "1x16",
@@ -52,12 +63,22 @@ def produce_trace(
     system = make_system(scheme, workload, seed=seed, telemetry=True)
     capacity_mrps = 16.0 / (system.expected_service_ns / 1e3)
     load = load_fraction * capacity_mrps
-    result = system.run_point(
-        load,
-        num_requests=num_requests,
-        keep_messages=True,
-        max_messages=max_messages,
+    # Routed through map_points as a single task so the instrumented
+    # point consults the on-disk result cache when caching is enabled.
+    from ..runner import map_points
+
+    outcome = map_points(
+        _trace_point_task,
+        [(system, load, num_requests, max_messages)],
+        workers=1,
+        labels=[f"trace {scheme}/{workload} (seed {seed})"],
+        progress=False,
     )
+    result = outcome.results[0]
+    if result is None:
+        raise RuntimeError(
+            f"trace run failed: {'; '.join(outcome.findings())}"
+        )
 
     trace_path = directory / "rpcvalet.trace.json"
     events = export_chrome_trace(

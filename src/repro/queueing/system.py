@@ -245,6 +245,8 @@ class QueueingSystem:
                 for index, (load, seed) in enumerate(zip(sorted_loads, seeds))
             ],
             progress_label=experiment or name,
+            # Cold-cache scheduling hint: higher load simulates longer.
+            cost_hints=sorted_loads,
         )
         if failures is not None:
             failures.extend(outcome.findings())

@@ -29,14 +29,39 @@ default — keeps pdb/profilers usable in tests) and on a
 ``REPRO_WORKERS`` environment variable decides; the experiments CLI
 exposes ``--workers``.
 
+Result caching
+--------------
+Because each task is a pure function of its config and seed, results
+are content-addressable. With caching enabled (``--cache`` on the CLI,
+``REPRO_CACHE``, or ``map_points(..., cache=True)``), every task is
+looked up in the on-disk store of :mod:`repro.cache` first; hits are
+returned instantly and only misses are dispatched. The merged outcome
+is bit-identical to an uncached run at any worker count — a cached
+value is the pickled result of the exact same deterministic
+computation. See :mod:`repro.cache` for the key derivation and
+invalidation story.
+
+Makespan-aware scheduling
+-------------------------
+Pool submission order is the only scheduling freedom a deterministic
+sweep has, and it matters: a long task landing last serializes the tail
+of the sweep behind one worker (the classic straggler effect). Misses
+are therefore submitted longest-expected-first, using per-label
+wall-clock EWMAs recorded into the cache on every run; on a cold start
+the order falls back to the caller's ``cost_hints`` (figure drivers
+pass the offered load — higher load simulates longer) and finally to
+descending task index, which approximates descending load index for
+sweeps built low-to-high. Results are keyed by task index, so ordering
+never changes the outcome, only the makespan.
+
 Live progress
 -------------
 With progress enabled (``--progress`` on the CLI, the
 ``REPRO_PROGRESS=1`` environment variable, or
 ``map_points(..., progress=True)``), each completed task emits a
-stderr status line with the done/total count, the task's label, and an
-ETA extrapolated from the completed tasks' mean wall-clock. Progress is
-reporting only — results and their order are unaffected.
+stderr status line with the done/total count, the task's label, an ETA
+extrapolated from the completed tasks' mean wall-clock, cache
+hit counts, and straggler stats (slowest task vs mean).
 
 Graceful degradation
 --------------------
@@ -57,7 +82,7 @@ import sys
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Sequence, TextIO
+from typing import Any, Callable, List, Optional, Sequence, TextIO, Union
 
 import numpy as np
 
@@ -70,6 +95,7 @@ __all__ = [
     "map_points",
     "progress_enabled",
     "resolve_workers",
+    "schedule_order",
     "set_progress",
     "spawn_point_seeds",
     "task_seed",
@@ -187,6 +213,12 @@ class MapOutcome:
 
     results: List[Any]
     failures: List[TaskFailure] = field(default_factory=list)
+    #: Tasks answered from the result cache / dispatched for compute.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Per-task wall-clock seconds (0.0 for cache hits, None for
+    #: failures); absent when the call predates timing.
+    task_wall_s: Optional[List[Optional[float]]] = None
 
     @property
     def ok(self) -> bool:
@@ -198,11 +230,14 @@ class MapOutcome:
 
 
 class ProgressReporter:
-    """Per-task completion lines with an ETA, written to stderr.
+    """Per-task completion lines with ETA, cache, and straggler stats.
 
     ``elapsed / done * remaining`` is a fine ETA model here because
     sweep tasks are close to equal-cost; the point is a liveness signal
-    during multi-minute parallel sweeps, not a scheduler.
+    during multi-minute parallel sweeps, not a scheduler. Once measured
+    per-task wall-clocks exist, each line also reports the slowest
+    task's cost relative to the mean — the straggler ratio that the
+    longest-expected-first submission order exists to hide.
     """
 
     def __init__(
@@ -217,12 +252,32 @@ class ProgressReporter:
         self.stream = stream if stream is not None else sys.stderr
         self.min_interval_s = min_interval_s
         self.done = 0
+        self.cached = 0
+        self._walls: List[float] = []
         self._started = time.monotonic()
         self._last_print = float("-inf")
 
-    def task_done(self, task_label: str) -> None:
+    def straggler_stats(self) -> Optional[str]:
+        """``slowest Xs = Y.Yx mean`` over the measured tasks, if any."""
+        if len(self._walls) < 2:
+            return None
+        slowest = max(self._walls)
+        mean = sum(self._walls) / len(self._walls)
+        ratio = slowest / mean if mean > 0 else float("inf")
+        return f"slowest {slowest:.1f}s = {ratio:.1f}x mean"
+
+    def task_done(
+        self,
+        task_label: str,
+        wall_s: Optional[float] = None,
+        cached: bool = False,
+    ) -> None:
         """Record one completed task and (rate-limited) print a line."""
         self.done += 1
+        if cached:
+            self.cached += 1
+        elif wall_s is not None:
+            self._walls.append(wall_s)
         now = time.monotonic()
         final = self.done >= self.total
         if not final and now - self._last_print < self.min_interval_s:
@@ -231,9 +286,16 @@ class ProgressReporter:
         elapsed = now - self._started
         eta = elapsed / self.done * (self.total - self.done)
         percent = 100.0 * self.done / self.total
+        extras = []
+        if self.cached:
+            extras.append(f"cache {self.cached}/{self.done}")
+        stragglers = self.straggler_stats()
+        if stragglers:
+            extras.append(stragglers)
+        suffix = f" [{'; '.join(extras)}]" if extras else ""
         print(
             f"[{self.label}] {self.done}/{self.total} ({percent:.0f}%) "
-            f"elapsed {elapsed:.1f}s ETA {eta:.1f}s — {task_label}",
+            f"elapsed {elapsed:.1f}s ETA {eta:.1f}s{suffix} — {task_label}",
             file=self.stream,
             flush=True,
         )
@@ -245,16 +307,75 @@ def _task_label(labels: Optional[Sequence[str]], index: int) -> str:
     return f"task[{index}]"
 
 
+def schedule_order(
+    indices: Sequence[int],
+    fn: Optional[Callable[[Any], Any]] = None,
+    labels: Optional[Sequence[str]] = None,
+    store=None,
+    cost_hints: Optional[Sequence[float]] = None,
+) -> List[int]:
+    """Submission order for pool tasks: longest-expected-first.
+
+    Expected cost per task, best evidence first:
+
+    1. the cache's per-label wall-clock EWMA from previous runs;
+    2. the caller's ``cost_hints`` (figure drivers pass the offered
+       load — simulation cost grows with load);
+    3. descending task index (sweeps are built in ascending-load order,
+       so the highest load indices run longest).
+
+    The tiers sort as (evidence, value) tuples, so measured tasks lead,
+    hinted tasks follow, and unknown tasks trail — within each tier,
+    most-expensive first. Results are slotted by task index, so this
+    reorders *execution* only; outcomes are unchanged.
+    """
+    def rank(index: int):
+        if store is not None and labels is not None and index < len(labels):
+            estimate = store.expected_duration(
+                store.duration_key(fn, labels[index])
+            )
+            if estimate is not None:
+                return (2, estimate)
+        if cost_hints is not None and index < len(cost_hints):
+            return (1, float(cost_hints[index]))
+        return (0, float(index))
+
+    return sorted(indices, key=rank, reverse=True)
+
+
+def _call_timed(fn: Callable[[Any], Any], task: Any):
+    """Run one task under a wall-clock timer (module-level: pool-picklable)."""
+    started = time.perf_counter()
+    result = fn(task)
+    return result, time.perf_counter() - started
+
+
+def _record(store, fn, keys, labels, index, result, wall_s) -> None:
+    """Persist one computed result + its wall-clock into the cache."""
+    if store is None:
+        return
+    key = keys[index]
+    if key is not None:
+        store.store(key, result, wall_s)
+    store.record_duration(
+        store.duration_key(fn, _task_label(labels, index)), wall_s
+    )
+
+
 def _map_serial(
     fn: Callable[[Any], Any],
     tasks: Sequence[Any],
+    indices: Sequence[int],
     labels: Optional[Sequence[str]],
+    outcome: MapOutcome,
     reporter: Optional[ProgressReporter] = None,
+    store=None,
+    keys: Optional[List[Optional[str]]] = None,
 ) -> MapOutcome:
-    outcome = MapOutcome(results=[None] * len(tasks))
-    for index, task in enumerate(tasks):
+    for index in indices:
+        started = time.perf_counter()
         try:
-            outcome.results[index] = fn(task)
+            result = fn(tasks[index])
         except Exception as exc:  # noqa: BLE001 - reported, not silenced
             outcome.failures.append(
                 TaskFailure(
@@ -265,8 +386,16 @@ def _map_serial(
                     index=index,
                 )
             )
+            if reporter is not None:
+                reporter.task_done(_task_label(labels, index))
+            continue
+        wall_s = time.perf_counter() - started
+        outcome.results[index] = result
+        if outcome.task_wall_s is not None:
+            outcome.task_wall_s[index] = wall_s
+        _record(store, fn, keys or [], labels, index, result, wall_s)
         if reporter is not None:
-            reporter.task_done(_task_label(labels, index))
+            reporter.task_done(_task_label(labels, index), wall_s=wall_s)
     return outcome
 
 
@@ -277,6 +406,8 @@ def map_points(
     labels: Optional[Sequence[str]] = None,
     progress: Optional[bool] = None,
     progress_label: str = "sweep",
+    cache: Union[None, bool, Any] = None,
+    cost_hints: Optional[Sequence[float]] = None,
 ) -> MapOutcome:
     """Run ``fn`` over ``tasks``, serially or on a process pool.
 
@@ -293,60 +424,116 @@ def map_points(
         Worker count; ``None`` consults ``REPRO_WORKERS``. ``<= 1``
         runs serially in-process.
     labels:
-        Optional per-task labels used in failure reports and progress
-        lines.
+        Optional per-task labels used in failure reports, progress
+        lines, and the cache's per-label duration estimates.
     progress:
         Live per-task progress/ETA on stderr; ``None`` consults
         :func:`set_progress` / ``REPRO_PROGRESS``.
     progress_label:
         Prefix of progress lines (the CLI passes the experiment id).
+    cache:
+        Result caching: ``None`` consults ``repro.cache`` process
+        state / ``REPRO_CACHE``; ``True``/``False`` force; a
+        :class:`repro.cache.ResultCache` is used directly. Cached
+        points return instantly; only misses are computed, and the
+        merged outcome is bit-identical to an uncached run.
+    cost_hints:
+        Optional per-task relative cost estimates (any unit — figure
+        drivers pass the offered load) used to submit misses
+        longest-expected-first on a cold cache; see
+        :func:`schedule_order`.
 
     Returns
     -------
     MapOutcome
         Results in task order (``None`` for tasks that failed twice)
-        plus structured failure records.
+        plus structured failure records and cache hit/miss counts.
     """
+    from .cache import resolve_cache
+
     tasks = list(tasks)
+    total = len(tasks)
     count = resolve_workers(workers)
+    store = resolve_cache(cache)
+    outcome = MapOutcome(
+        results=[None] * total, task_wall_s=[None] * total
+    )
     reporter = (
-        ProgressReporter(len(tasks), label=progress_label)
+        ProgressReporter(total, label=progress_label)
         if progress_enabled(progress) and tasks
         else None
     )
-    if count <= 1 or len(tasks) <= 1:
-        return _map_serial(fn, tasks, labels, reporter)
 
+    keys: List[Optional[str]] = [None] * total
+    pending: List[int] = list(range(total))
+    if store is not None:
+        pending = []
+        for index, task in enumerate(tasks):
+            key = store.key_for(fn, task)
+            keys[index] = key
+            if key is not None:
+                hit, value, _wall_s = store.lookup(key)
+                if hit:
+                    outcome.results[index] = value
+                    outcome.task_wall_s[index] = 0.0
+                    outcome.cache_hits += 1
+                    if reporter is not None:
+                        reporter.task_done(
+                            _task_label(labels, index), wall_s=0.0, cached=True
+                        )
+                    continue
+            pending.append(index)
+        outcome.cache_misses = len(pending)
+        if not pending:
+            return outcome
+
+    if count <= 1 or len(pending) <= 1:
+        return _map_serial(
+            fn, tasks, pending, labels, outcome, reporter, store, keys
+        )
+
+    order = schedule_order(pending, fn, labels, store, cost_hints)
     try:
-        executor = ProcessPoolExecutor(max_workers=min(count, len(tasks)))
+        executor = ProcessPoolExecutor(max_workers=min(count, len(pending)))
     except (OSError, ValueError):  # no usable multiprocessing: degrade
-        return _map_serial(fn, tasks, labels, reporter)
+        return _map_serial(
+            fn, tasks, pending, labels, outcome, reporter, store, keys
+        )
 
-    outcome = MapOutcome(results=[None] * len(tasks))
     with executor:
         index_of = {
-            executor.submit(fn, task): index for index, task in enumerate(tasks)
+            executor.submit(_call_timed, fn, tasks[index]): index
+            for index in order
         }
         # Collect in completion order (for live progress), report in
         # task order below — the outcome never depends on scheduling.
         worker_errors: dict = {}
-        pending = set(index_of)
-        while pending:
-            finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+        waiting = set(index_of)
+        while waiting:
+            finished, waiting = wait(waiting, return_when=FIRST_COMPLETED)
             for future in finished:
                 index = index_of[future]
                 try:
-                    outcome.results[index] = future.result()
+                    result, wall_s = future.result()
                 except Exception as exc:  # noqa: BLE001 - worker died or task raised
                     worker_errors[index] = f"{type(exc).__name__}: {exc}"
+                    if reporter is not None:
+                        reporter.task_done(_task_label(labels, index))
+                    continue
+                outcome.results[index] = result
+                outcome.task_wall_s[index] = wall_s
+                _record(store, fn, keys, labels, index, result, wall_s)
                 if reporter is not None:
-                    reporter.task_done(_task_label(labels, index))
+                    reporter.task_done(
+                        _task_label(labels, index), wall_s=wall_s
+                    )
     # Graceful degradation: retry failed tasks once, serially, in task
     # order (deterministic findings regardless of completion order).
     for index in sorted(worker_errors):
         label = _task_label(labels, index)
+        started = time.perf_counter()
         try:
-            outcome.results[index] = fn(tasks[index])
+            result = fn(tasks[index])
         except Exception as exc:  # noqa: BLE001
             outcome.failures.append(
                 TaskFailure(
@@ -361,6 +548,10 @@ def map_points(
                 )
             )
         else:
+            wall_s = time.perf_counter() - started
+            outcome.results[index] = result
+            outcome.task_wall_s[index] = wall_s
+            _record(store, fn, keys, labels, index, result, wall_s)
             outcome.failures.append(
                 TaskFailure(
                     label=label,

@@ -12,9 +12,9 @@ from __future__ import annotations
 
 from heapq import heappop, heappush
 from itertools import count
-from typing import Any, Generator, List, Optional, Tuple
+from typing import Any, Callable, Generator, List, Optional, Tuple
 
-from .events import AllOf, AnyOf, Event, Process, Timeout
+from .events import AllOf, AnyOf, Callback, Event, Process, Timeout
 
 __all__ = ["Environment", "EmptySchedule"]
 
@@ -36,7 +36,14 @@ class Environment:
         Starting value of the simulation clock.
     """
 
-    __slots__ = ("_now", "_queue", "_eid", "_active_process", "_sampler")
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_eid",
+        "_active_process",
+        "_sampler",
+        "_call_pool",
+    )
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
@@ -44,6 +51,8 @@ class Environment:
         self._eid = count()
         self._active_process: Optional[Process] = None
         self._sampler = None
+        #: Recycled Callback events for :meth:`schedule_call`.
+        self._call_pool: List[Callback] = []
 
     # -- clock ----------------------------------------------------------------
 
@@ -94,6 +103,29 @@ class Environment:
     ) -> Process:
         """Start a new process driving ``generator``."""
         return Process(self, generator, name=name)
+
+    def schedule_call(
+        self, delay: float, fn: Callable[..., Any], *args: Any
+    ) -> None:
+        """Invoke ``fn(*args)`` after ``delay`` time units.
+
+        The allocation-free fast path for fire-and-forget latency
+        modeling (mesh hops, wire delays): where
+        ``timeout(d).add_callback(lambda e: fn(*args))`` allocates a
+        Timeout, a closure, and a callbacks list per call, this recycles
+        one pooled :class:`Callback` event. The call cannot be observed
+        or cancelled — use :meth:`timeout` when something must wait on
+        the occurrence.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        pool = self._call_pool
+        event = pool.pop() if pool else Callback(self)
+        event.fn = fn
+        event.args = args
+        heappush(
+            self._queue, (self._now + delay, _NORMAL, next(self._eid), event)
+        )
 
     def any_of(self, events: List[Event]) -> AnyOf:
         """Event that fires when any of ``events`` fires."""

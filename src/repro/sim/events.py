@@ -23,6 +23,7 @@ from typing import Any, Callable, Generator, List, Optional
 
 __all__ = [
     "Event",
+    "Callback",
     "Timeout",
     "Process",
     "Condition",
@@ -165,6 +166,44 @@ class Event:
 
     def __and__(self, other: "Event") -> "Condition":
         return AllOf(self.env, [self, other])
+
+
+class Callback(Event):
+    """A pooled fire-and-forget callback event.
+
+    Backs :meth:`Environment.schedule_call`, the allocation-free
+    replacement for ``timeout + lambda``: the event keeps a permanent
+    single-entry callbacks list (``[self._fire]``), and firing re-arms
+    the instance and returns it to the environment's pool before
+    invoking the target — so one instance serves an unbounded stream of
+    delayed calls instead of a fresh ``Timeout`` + closure + list per
+    call. Not for external use: it violates the one-shot contract of
+    :class:`Event` by design.
+    """
+
+    __slots__ = ("fn", "args", "_arm")
+
+    def __init__(self, env: "Environment") -> None:  # noqa: F821
+        super().__init__(env)
+        #: The permanent callbacks list; re-installed on every re-arm.
+        self._arm = [self._fire]
+        self.callbacks = self._arm
+        self._ok = True
+        self._value = None
+        self.fn: Optional[Callable[..., Any]] = None
+        self.args: tuple = ()
+
+    def _fire(self, _event: Event) -> None:
+        fn = self.fn
+        args = self.args
+        # Re-arm and pool *before* invoking: the target may itself
+        # schedule_call and is welcome to reuse this very instance.
+        self.fn = None
+        self.args = ()
+        self.callbacks = self._arm
+        self._processed = False
+        self.env._call_pool.append(self)
+        fn(*args)
 
 
 class Timeout(Event):

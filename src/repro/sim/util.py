@@ -14,7 +14,9 @@ def delayed_call(
 ) -> None:
     """Invoke ``fn(*args)`` after ``delay`` time units.
 
-    Cheaper than spawning a process: a bare timeout with a callback.
-    Used for fire-and-forget latency modeling (mesh hops, wire delays).
+    Cheaper than spawning a process, and allocation-free: delegates to
+    :meth:`Environment.schedule_call`, which recycles pooled callback
+    events. Used for fire-and-forget latency modeling (mesh hops, wire
+    delays).
     """
-    env.timeout(delay).add_callback(lambda _event: fn(*args))
+    env.schedule_call(delay, fn, *args)

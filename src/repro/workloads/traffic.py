@@ -27,7 +27,6 @@ from typing import Deque, Dict, List, Optional, Tuple
 from ..arch.buffers import DynamicSlotAllocator
 from ..arch.chip import Chip
 from ..arch.packets import SendMessage
-from ..arch.protocol import make_send
 from ..sim import RngRegistry
 from .base import RpcWorkload
 
@@ -103,8 +102,7 @@ class ClosedLoopClients:
 
     def _issue(self, src: int, slot: int) -> None:
         service_ns, label = self.workload.sample(self._service_rng)
-        msg = make_send(
-            self.chip.config,
+        msg = self.chip.make_send(
             msg_id=self._next_msg_id,
             src_node=src,
             slot=slot,
@@ -251,8 +249,7 @@ class TrafficGenerator:
     def _send_static(
         self, msg_id: int, src: int, slot: int, service_ns: float, label: str
     ) -> None:
-        msg = make_send(
-            self.chip.config,
+        msg = self.chip.make_send(
             msg_id=msg_id,
             src_node=src,
             slot=slot,
@@ -265,8 +262,7 @@ class TrafficGenerator:
     def _send_dynamic(
         self, msg_id: int, src: int, index: int, service_ns: float, label: str
     ) -> None:
-        msg = make_send(
-            self.chip.config,
+        msg = self.chip.make_send(
             msg_id=msg_id,
             src_node=src,
             slot=0,  # slot field unused under pooled provisioning

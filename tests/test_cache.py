@@ -1,0 +1,253 @@
+"""Content-addressed result cache: keys, store, runner integration."""
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+import repro.cache.store as store_module
+from repro.cache import (
+    CacheStats,
+    ResultCache,
+    Unfingerprintable,
+    cache_stats,
+    code_fingerprint,
+    fingerprint,
+    get_cache,
+    resolve_cache,
+    set_cache,
+)
+from repro.core import make_system
+from repro.core.system import run_point_task, sweep_many
+from repro.runner import map_points, schedule_order
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_cache(monkeypatch):
+    """Keep the process-wide cache switch off regardless of the env."""
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    set_cache(None, None)
+    yield
+    set_cache(None, None)
+
+
+def _double(task):
+    return task * 2
+
+
+def _canonical(value) -> bytes:
+    """Pickle bytes normalized by one round-trip.
+
+    A fresh object and its unpickled twin can serialize to different
+    byte streams with equal content (CPython interns instance-state
+    dict keys on BUILD, changing string-sharing topology). One
+    round-trip reaches the fixed point, so canonical bytes compare
+    bit-identical iff the values are.
+    """
+    return pickle.dumps(
+        pickle.loads(pickle.dumps(value, pickle.HIGHEST_PROTOCOL)),
+        pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def _make_point(seed):
+    system = make_system("1x16", "synthetic-fixed", seed=seed)
+    return (system, 1.0, 400, 0.1, seed)
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        task = {"a": [1, 2.5, "x"], "b": (None, True)}
+        assert fingerprint(task) == fingerprint(task)
+
+    def test_dict_order_irrelevant(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+    def test_value_sensitivity(self):
+        assert fingerprint({"a": 1}) != fingerprint({"a": 2})
+        assert fingerprint(1.0) != fingerprint(1)
+        assert fingerprint([1, 2]) != fingerprint((1, 2))
+
+    def test_numpy_arrays(self):
+        a = np.arange(6, dtype=np.float64)
+        assert fingerprint(a) == fingerprint(a.copy())
+        assert fingerprint(a) != fingerprint(a.reshape(2, 3))
+        assert fingerprint(a) != fingerprint(a.astype(np.float32))
+
+    def test_instances_hash_by_state(self):
+        a = _make_point(seed=3)
+        b = _make_point(seed=3)
+        c = _make_point(seed=4)
+        assert fingerprint(a) == fingerprint(b)
+        assert fingerprint(a) != fingerprint(c)
+
+    def test_live_rng_refused(self):
+        with pytest.raises(Unfingerprintable):
+            fingerprint(np.random.default_rng(0))
+
+    def test_code_fingerprint_is_short_hex(self):
+        digest = code_fingerprint()
+        assert len(digest) == 20
+        int(digest, 16)
+
+
+class TestResultCache:
+    def test_hit_returns_bit_identical_point(self, cache):
+        task = _make_point(seed=7)
+        key = cache.key_for(run_point_task, task)
+        assert key is not None
+        computed = run_point_task(task)
+        assert cache.store(key, computed, wall_s=1.25)
+        hit, value, wall_s = cache.lookup(key)
+        assert hit and wall_s == 1.25
+        assert value.p99 == computed.p99
+        assert value.mean_service_ns == computed.mean_service_ns
+        assert _canonical(value) == _canonical(computed)
+
+    def test_seed_and_config_changes_change_the_key(self, cache):
+        base = cache.key_for(run_point_task, _make_point(seed=7))
+        other_seed = cache.key_for(run_point_task, _make_point(seed=8))
+        system, load, n, warm, seed = _make_point(seed=7)
+        other_load = cache.key_for(run_point_task, (system, 2.0, n, warm, seed))
+        assert len({base, other_seed, other_load}) == 3
+
+    def test_code_fingerprint_bump_invalidates(self, cache, monkeypatch):
+        task = _make_point(seed=7)
+        before = cache.key_for(run_point_task, task)
+        monkeypatch.setattr(
+            store_module, "code_fingerprint", lambda: "deadbeefdeadbeefdead"
+        )
+        after = cache.key_for(run_point_task, task)
+        assert before != after
+
+    def test_corrupt_entry_degrades_to_miss(self, cache):
+        key = cache.key_for(_double, 21)
+        cache.store(key, 42, wall_s=0.5)
+        path = cache._entry_path(key)
+        path.write_bytes(path.read_bytes()[:10])  # truncate
+        hit, value, _ = cache.lookup(key)
+        assert not hit and value is None
+        assert cache.stats.errors == 1
+        assert not path.exists()  # discarded, will be recomputed
+
+    def test_wrong_key_payload_degrades_to_miss(self, cache):
+        key = cache.key_for(_double, 21)
+        other = cache.key_for(_double, 34)
+        cache.store(key, 42, wall_s=0.0)
+        cache._entry_path(other).parent.mkdir(parents=True, exist_ok=True)
+        cache._entry_path(other).write_bytes(
+            cache._entry_path(key).read_bytes()
+        )
+        hit, _, _ = cache.lookup(other)
+        assert not hit
+
+    def test_uncacheable_task_returns_none(self, cache):
+        key = cache.key_for(_double, np.random.default_rng(0))
+        assert key is None
+        assert cache.stats.uncacheable == 1
+
+    def test_duration_ewma(self, cache):
+        dkey = cache.duration_key(_double, "label")
+        assert cache.expected_duration(dkey) is None
+        cache.record_duration(dkey, 2.0)
+        cache.record_duration(dkey, 1.0)
+        assert cache.expected_duration(dkey) == pytest.approx(1.5)
+
+
+def _store_one(args):
+    root, key, value = args
+    cache = ResultCache(root)
+    cache.store(key, value, wall_s=0.1)
+    return cache.lookup(key)[0]
+
+
+class TestConcurrentWriters:
+    def test_parallel_writers_leave_an_intact_entry(self, tmp_path):
+        root = tmp_path / "cache"
+        key = ResultCache(root).key_for(_double, 21)
+        payload = {"values": list(range(100))}
+        try:
+            with ProcessPoolExecutor(max_workers=4) as pool:
+                results = list(
+                    pool.map(
+                        _store_one, [(root, key, payload) for _ in range(8)]
+                    )
+                )
+        except OSError:  # pragma: no cover - no multiprocessing available
+            pytest.skip("process pool unavailable")
+        assert all(results)
+        hit, value, _ = ResultCache(root).lookup(key)
+        assert hit and value == payload
+
+
+class TestRunnerIntegration:
+    def test_map_points_hits_on_second_call(self, cache):
+        tasks = [1, 2, 3]
+        first = map_points(_double, tasks, workers=1, cache=cache)
+        assert first.results == [2, 4, 6]
+        assert (first.cache_hits, first.cache_misses) == (0, 3)
+        second = map_points(_double, tasks, workers=1, cache=cache)
+        assert second.results == [2, 4, 6]
+        assert (second.cache_hits, second.cache_misses) == (3, 0)
+        assert cache.stats.stores == 3
+
+    def test_cached_sweep_points_bit_identical(self, cache):
+        def run():
+            systems = {"1x16": make_system("1x16", "synthetic-fixed", seed=7)}
+            return sweep_many(
+                systems, [0.5, 1.0], num_requests=400, experiment="t"
+            )["1x16"]
+
+        set_cache(True, cache.root)
+        cold = run()
+        warm = run()
+        set_cache(False)
+        uncached = run()
+        for a, b, c in zip(cold.points, warm.points, uncached.points):
+            assert a.p99 == b.p99 == c.p99
+            assert _canonical(a) == _canonical(b) == _canonical(c)
+        assert get_cache(cache.root).stats.hits == 2
+
+    def test_cache_disabled_by_default(self):
+        outcome = map_points(_double, [1, 2], workers=1)
+        assert (outcome.cache_hits, outcome.cache_misses) == (0, 0)
+
+    def test_resolve_cache_env(self, monkeypatch, tmp_path):
+        assert resolve_cache(None) is None
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "envcache"))
+        resolved = resolve_cache(None)
+        assert isinstance(resolved, ResultCache)
+        assert resolved.root == tmp_path / "envcache"
+        assert resolve_cache(False) is None
+
+    def test_stats_aggregate(self, tmp_path):
+        set_cache(True, tmp_path / "agg")
+        map_points(_double, [5], workers=1)
+        map_points(_double, [5], workers=1)
+        merged = cache_stats()
+        assert isinstance(merged, CacheStats)
+        assert merged.hits >= 1 and merged.stores >= 1
+
+
+class TestScheduleOrder:
+    def test_cost_hint_fallback_orders_longest_first(self):
+        order = schedule_order([0, 1, 2], cost_hints=[0.2, 0.9, 0.5])
+        assert order == [1, 2, 0]
+
+    def test_index_fallback_is_descending(self):
+        assert schedule_order([0, 1, 2]) == [2, 1, 0]
+
+    def test_recorded_durations_win_over_hints(self, cache):
+        labels = ["a", "b"]
+        cache.record_duration(cache.duration_key(_double, "a"), 0.1)
+        cache.record_duration(cache.duration_key(_double, "b"), 5.0)
+        order = schedule_order(
+            [0, 1], fn=_double, labels=labels, store=cache, cost_hints=[9, 1]
+        )
+        assert order == [1, 0]
