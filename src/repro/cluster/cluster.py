@@ -20,6 +20,7 @@ probes plus router decision/staleness instrumentation.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional, Sequence, Tuple
@@ -28,12 +29,13 @@ import numpy as np
 
 from ..arch import Chip, ChipConfig, SendMessage, make_send
 from ..balancing import BalancingScheme, SingleQueue
-from ..metrics import LatencySummary
+from ..metrics import LatencyRecorder, LatencySummary
 from ..sim import Environment, RngRegistry, delayed_call
 from ..workloads import MicrobenchCosts, MicrobenchProgram, RpcWorkload
 from .fabric import Fabric, UniformFabric
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..faults import FaultInjector, FaultPlan, FaultStats, RetryConfig
     from ..rack import RackRouter, RouterStats
     from ..telemetry import TelemetrySnapshot
 
@@ -45,11 +47,15 @@ def mesh_geometry(num_cores: int) -> Tuple[int, int]:
 
     Heterogeneous racks scale per-node core counts; the chip model
     requires a rectangular mesh, so pick the most square factoring
-    (16 -> 4x4, 8 -> 2x4, 4 -> 2x2, 2 -> 1x2).
+    (16 -> 4x4, 8 -> 2x4, 4 -> 2x2, 2 -> 1x2). Core counts with no
+    non-trivial factorization (primes) degrade to a single 1xN row
+    rather than failing — every count >= 1 yields a valid geometry.
     """
     if num_cores < 1:
         raise ValueError(f"num_cores must be >= 1, got {num_cores!r}")
-    rows = int(num_cores**0.5)
+    # isqrt, not int(n**0.5): float sqrt can round up past the true
+    # integer root and send the search below the best factor.
+    rows = math.isqrt(num_cores)
     while rows > 1 and num_cores % rows:
         rows -= 1
     return rows, num_cores // rows
@@ -62,6 +68,27 @@ def _peer_index(sender: int, receiver: int) -> int:
     itself.
     """
     return sender if sender < receiver else sender - 1
+
+
+class _Rpc:
+    """One logical RPC in robust (fault-injected) mode.
+
+    A logical RPC may spawn several physical attempts (retries, a
+    hedge); it resolves exactly once — on its first completion, or as
+    lost when the retry budget is exhausted and no attempt remains
+    live.
+    """
+
+    __slots__ = ("service_ns", "label", "t_start", "resolved", "retries_used", "live")
+
+    def __init__(self, service_ns: float, label: str, t_start: float) -> None:
+        self.service_ns = service_ns
+        self.label = label
+        self.t_start = t_start
+        self.resolved = False
+        self.retries_used = 0
+        #: Attempts issued and not yet concluded (completed or timed out).
+        self.live = 0
 
 
 class ClusterNode:
@@ -84,7 +111,11 @@ class ClusterNode:
             rngs,
         )
         scheme.install(self.chip, rngs.stream("dispatch"))
-        self.chip.on_slot_replenished = self._replenish_returned
+        self.chip.on_slot_replenished = (
+            self._replenish_returned_robust
+            if cluster.robust
+            else self._replenish_returned
+        )
         slots = cluster.config.send_slots_per_node
         self._slots_per_peer = slots
         #: Free send slots toward each destination node (by node id).
@@ -97,12 +128,22 @@ class ClusterNode:
         self.generated = 0
         self.stalled = 0
         self._next_msg_id = 0
+        #: Robust-mode state: live attempt records keyed by msg_id, and
+        #: queued (not-yet-sent) attempt ids per destination.
+        self._attempts: Dict[int, dict] = {}
+        self._queued: Dict[int, Deque[int]] = {}
+        self._peer_ids: List[int] = [
+            n for n in range(cluster.num_nodes) if n != node_id
+        ]
 
     # -- client side --------------------------------------------------------
 
     def start_traffic(self, per_node_rps: float, num_requests: int) -> None:
+        generate = (
+            self._generate_robust if self.cluster.robust else self._generate
+        )
         self.cluster.env.process(
-            self._generate(per_node_rps, num_requests),
+            generate(per_node_rps, num_requests),
             name=f"traffic-node{self.node_id}",
         )
 
@@ -155,6 +196,205 @@ class ClusterNode:
         target_chip = cluster.nodes[dst].chip
         delayed_call(cluster.env, delay, target_chip.submit_message, msg)
 
+    # -- robust client side: timeouts, retries, hedges -----------------------
+
+    def _generate_robust(self, per_node_rps: float, num_requests: int):
+        """Open-loop traffic with per-RPC robustness (robust mode only)."""
+        cluster = self.cluster
+        env = cluster.env
+        arrival_rng = self._rngs.stream("arrivals")
+        service_rng = self._rngs.stream("service")
+        mean_gap_ns = 1e9 / per_node_rps
+        workload = cluster.workload
+        stats = cluster.injector.stats
+        hedge_ns = cluster.retry.hedge_ns
+        for _ in range(num_requests):
+            yield env.timeout(arrival_rng.exponential(mean_gap_ns))
+            service_ns, label = workload.sample(service_rng)
+            rpc = _Rpc(service_ns, label, env.now)
+            self.generated += 1
+            stats.offered += 1
+            self._launch_attempt(rpc)
+            if hedge_ns is not None:
+                env.schedule_call(hedge_ns, self._maybe_hedge, rpc)
+
+    def _launch_attempt(self, rpc: _Rpc) -> None:
+        """Issue one physical attempt of ``rpc`` (first, retry, or hedge)."""
+        cluster = self.cluster
+        peer_rng = self._rngs.stream("peers")
+        router = cluster.router
+        injector = cluster.injector
+        if router is not None:
+            dst = router.choose(self.node_id, peer_rng)
+        else:
+            peers = self._peer_ids
+            dst = peers[int(peer_rng.integers(0, len(peers)))]
+        service_ns = rpc.service_ns
+        speed = (
+            cluster.speed_factors[dst]
+            if cluster.speed_factors is not None
+            else 1.0
+        )
+        # Static heterogeneity composes with any active slowdown fault;
+        # both apply at launch time (the speed the RPC starts with).
+        speed *= injector.speed_multiplier(dst)
+        service_ns /= speed
+        msg_id = self._next_msg_id
+        self._next_msg_id += 1
+        attempt = {
+            "rpc": rpc,
+            "dst": dst,
+            "slot": None,
+            "service_ns": service_ns,
+            "cancelled": False,
+            "vanished": False,
+            "reply_lost": False,
+            "delivered": False,
+            #: The server finished this request (even if the reply was
+            #: suppressed) — its receive slot is free, so the send-slot
+            #: credit is safe to reclaim at recovery.
+            "server_done": False,
+            #: True while this attempt holds a +1 in router.outstanding.
+            "open": router is not None,
+        }
+        self._attempts[msg_id] = attempt
+        rpc.live += 1
+        free = self._free_slots[dst]
+        if free:
+            self._send_attempt(msg_id, attempt, free.pop())
+        else:
+            self.stalled += 1
+            self._queued.setdefault(dst, deque()).append(msg_id)
+        cluster.env.schedule_call(
+            cluster.retry.timeout_ns, self._attempt_timeout, msg_id
+        )
+
+    def _send_attempt(self, msg_id: int, attempt: dict, slot: int) -> None:
+        cluster = self.cluster
+        dst = attempt["dst"]
+        attempt["slot"] = slot
+        msg = make_send(
+            cluster.config,
+            msg_id=msg_id,
+            src_node=_peer_index(self.node_id, dst),
+            slot=slot,
+            size_bytes=cluster.workload.request_size_bytes,
+            service_ns=attempt["service_ns"],
+            label=attempt["rpc"].label,
+        )
+        #: Robust mode stores (sender, msg_id) so a reclaimed-and-reissued
+        #: slot cannot be credited to the wrong attempt.
+        cluster.sender_of[(dst, msg.src_node, slot)] = (self.node_id, msg_id)
+        delay = cluster.fabric.latency_ns(self.node_id, dst)
+        fate = cluster.injector.transmit(
+            delay, cluster._deliver_request, self.node_id, dst, msg, msg_id
+        )
+        if fate == "drop":
+            attempt["vanished"] = True
+
+    def _attempt_timeout(self, msg_id: int) -> None:
+        attempt = self._attempts.get(msg_id)
+        if attempt is None or attempt["cancelled"]:
+            return
+        cluster = self.cluster
+        stats = cluster.injector.stats
+        rpc = attempt["rpc"]
+        attempt["cancelled"] = True
+        stats.timeouts += 1
+        rpc.live -= 1
+        if attempt["open"]:
+            attempt["open"] = False
+            cluster.router.on_attempt_abandoned(attempt["dst"])
+        dst = attempt["dst"]
+        slot = attempt["slot"]
+        if slot is None:
+            # Never sent: drop the record; the queued-id scan skips it.
+            del self._attempts[msg_id]
+        elif attempt["vanished"] or attempt["reply_lost"]:
+            # The message (or its reply) provably died in the fabric;
+            # the transport aborts the attempt and returns the credit.
+            self._reclaim_attempt(msg_id, attempt)
+        # else: leave the record — a late completion may still free the
+        # slot, or recovery-time reclaim collects it.
+        if rpc.resolved:
+            return
+        retry = cluster.retry
+        if rpc.retries_used < retry.retry_budget:
+            rpc.retries_used += 1
+            stats.retries += 1
+            backoff = retry.backoff_for(rpc.retries_used - 1)
+            cluster.env.schedule_call(backoff, self._retry_attempt, rpc)
+        elif rpc.live == 0:
+            rpc.resolved = True
+            cluster.resolved_total += 1
+            cluster.lost_total += 1
+            stats.lost += 1
+
+    def _retry_attempt(self, rpc: _Rpc) -> None:
+        if not rpc.resolved:
+            self._launch_attempt(rpc)
+
+    def _maybe_hedge(self, rpc: _Rpc) -> None:
+        if rpc.resolved:
+            return
+        self.cluster.injector.stats.hedges += 1
+        self._launch_attempt(rpc)
+
+    def _reply_received(
+        self, msg_id: int, server: int, reported_load: Optional[float]
+    ) -> None:
+        """A completion reply reached this client (robust mode)."""
+        cluster = self.cluster
+        stats = cluster.injector.stats
+        router = cluster.router
+        if reported_load is not None and router is not None:
+            router.deliver_report(self.node_id, server, reported_load)
+        attempt = self._attempts.pop(msg_id, None)
+        if attempt is None:
+            # Duplicated reply, or the attempt was already reclaimed.
+            stats.duplicate_completions += 1
+            return
+        rpc = attempt["rpc"]
+        if attempt["cancelled"]:
+            stats.late_completions += 1
+        else:
+            rpc.live -= 1
+        slot = attempt["slot"]
+        if slot is not None:
+            self._robust_slot_freed(attempt["dst"], slot)
+        if not rpc.resolved:
+            rpc.resolved = True
+            cluster.resolved_total += 1
+            stats.completed += 1
+            now = cluster.env.now
+            cluster.e2e_recorder.record(now, now - rpc.t_start, rpc.label)
+        else:
+            stats.duplicate_completions += 1
+
+    def _reclaim_attempt(self, msg_id: int, attempt: dict) -> None:
+        """Return a dead attempt's send-slot credit (robust mode)."""
+        cluster = self.cluster
+        if self._attempts.pop(msg_id, None) is None:
+            return
+        dst = attempt["dst"]
+        slot = attempt["slot"]
+        entry = cluster.sender_of.get((dst, _peer_index(self.node_id, dst), slot))
+        if entry is not None and entry[1] == msg_id:
+            del cluster.sender_of[(dst, _peer_index(self.node_id, dst), slot)]
+        cluster.injector.stats.reclaimed_slots += 1
+        self._robust_slot_freed(dst, slot)
+
+    def _robust_slot_freed(self, dst: int, slot: int) -> None:
+        queued = self._queued.get(dst)
+        while queued:
+            msg_id = queued.popleft()
+            attempt = self._attempts.get(msg_id)
+            if attempt is None or attempt["cancelled"]:
+                continue
+            self._send_attempt(msg_id, attempt, slot)
+            return
+        self._free_slots[dst].append(slot)
+
     # -- server side: replenish routed back to the true sender ---------------
 
     def _replenish_returned(self, msg: SendMessage) -> None:
@@ -188,6 +428,67 @@ class ClusterNode:
         delayed_call(
             cluster.env, delay, sender._slot_freed, self.node_id, msg.slot
         )
+
+    def _replenish_returned_robust(self, msg: SendMessage) -> None:
+        """Robust-mode completion path: suppression, dedup, reconciliation.
+
+        Differences from the legacy path: a down node's NI sends
+        nothing (reply suppressed); the slot credit is validated
+        against the attempt that currently owns it (a reclaimed slot
+        may have been reissued); the reply — and any piggybacked load
+        report — crosses the fabric through the fault injector, so it
+        can be dropped, duplicated, or delayed like any other message.
+        """
+        cluster = self.cluster
+        injector = cluster.injector
+        stats = injector.stats
+        key = (self.node_id, msg.src_node, msg.slot)
+        if not injector.node_up(self.node_id):
+            # Down NI: no reply, no replenish. Mark the attempt done at
+            # the server so recovery-time reclaim knows the receive
+            # slot is free (reclaiming an attempt whose request is
+            # still queued in the pipeline would let the reissued send
+            # slot collide with the occupied receive slot).
+            stats.reply_suppressed += 1
+            marker = cluster.sender_of.get(key)
+            if marker is not None and marker[1] == msg.msg_id:
+                done = cluster.nodes[marker[0]]._attempts.get(msg.msg_id)
+                if done is not None:
+                    done["server_done"] = True
+            return
+        entry = cluster.sender_of.get(key)
+        if entry is None:
+            return  # attempt reclaimed at recovery; orphan completion
+        sender_id, owner_msg_id = entry
+        if owner_msg_id != msg.msg_id:
+            return  # slot reclaimed and reissued; this reply is orphaned
+        del cluster.sender_of[key]
+        cluster.completed_total += 1
+        sender = cluster.nodes[sender_id]
+        attempt = sender._attempts.get(msg.msg_id)
+        if attempt is not None:
+            attempt["server_done"] = True
+        router = cluster.router
+        reported: Optional[float] = None
+        if router is not None:
+            if attempt is not None and attempt["open"]:
+                attempt["open"] = False
+                reported = router.on_complete(self.node_id)
+            else:
+                # Outstanding was already corrected at abandonment.
+                reported = float(router.outstanding[self.node_id])
+            if not router.wants_reply_reports or injector.signals_dark():
+                reported = None
+        delay = cluster.fabric.latency_ns(self.node_id, sender_id)
+        fate = injector.transmit(
+            delay, sender._reply_received, msg.msg_id, self.node_id, reported
+        )
+        if fate == "drop" and attempt is not None:
+            attempt["reply_lost"] = True
+            if attempt["cancelled"]:
+                # The timeout already gave up on this attempt; with the
+                # reply provably gone, reclaim the credit here.
+                sender._reclaim_attempt(msg.msg_id, attempt)
 
     def _slot_freed(self, dst: int, slot: int) -> None:
         pending = self._pending.get(dst)
@@ -229,10 +530,32 @@ class ClusterResult:
     router_stats: Optional["RouterStats"] = None
     #: Telemetry snapshot, when the cluster ran instrumented.
     telemetry: Optional["TelemetrySnapshot"] = None
+    #: Robust-mode (fault-injected) results; None on legacy runs.
+    #: ``e2e`` is the *client-side* end-to-end latency of each logical
+    #: RPC, including queueing for credits, retries, and hedging —
+    #: ``aggregate`` keeps its historical server-side meaning.
+    e2e: Optional[LatencySummary] = None
+    #: Logical RPCs offered / lost to exhausted retry budgets.
+    offered: int = 0
+    lost: int = 0
+    #: Distinct successful RPC completions per unit time, MRPS — the
+    #: useful-work counterpart of ``total_throughput_mrps`` (which
+    #: counts all server work, retried duplicates included).
+    goodput_mrps: float = 0.0
+    #: Per-node fraction of the run spent up.
+    availability: Optional[List[float]] = None
+    fault_stats: Optional["FaultStats"] = None
 
     @property
     def p99_ns(self) -> float:
         return self.aggregate.p99
+
+    @property
+    def goodput_fraction(self) -> float:
+        """Offered logical RPCs that eventually completed."""
+        if self.offered == 0:
+            return 1.0
+        return (self.offered - self.lost) / self.offered
 
     def imbalance(self) -> float:
         """Max/min per-node mean latency — cross-node fairness check."""
@@ -268,6 +591,8 @@ class Cluster:
         speed_factors: Optional[Sequence[float]] = None,
         telemetry: bool = False,
         telemetry_interval_ns: Optional[float] = None,
+        faults: Optional["FaultPlan"] = None,
+        retry: Optional["RetryConfig"] = None,
     ) -> None:
         if num_nodes < 2:
             raise ValueError(f"need at least 2 nodes, got {num_nodes!r}")
@@ -313,10 +638,12 @@ class Cluster:
         )
         if self.fabric.num_nodes != num_nodes:
             raise ValueError("fabric and cluster disagree on node count")
+        self.seed = seed
         self.rngs = RngRegistry(seed)
         self.env = Environment()
-        #: (receiver, sender_perspective_index, slot) → sender node id.
-        self.sender_of: Dict[Tuple[int, int, int], int] = {}
+        #: (receiver, sender_perspective_index, slot) → sender node id
+        #: (legacy mode) or (sender node id, msg_id) (robust mode).
+        self.sender_of: Dict[Tuple[int, int, int], object] = {}
         #: Completions across all nodes so far (drained-traffic check).
         self.completed_total = 0
         self._expected_total = 0
@@ -324,6 +651,25 @@ class Cluster:
         self.router = router
         self.telemetry = telemetry
         self.telemetry_interval_ns = telemetry_interval_ns
+        #: Robust mode: fault injection and/or client-side retries. The
+        #: legacy path (both None) is byte-identical to previous behaviour.
+        self.robust = faults is not None or retry is not None
+        self.injector: Optional["FaultInjector"] = None
+        self.retry: Optional["RetryConfig"] = None
+        self.e2e_recorder: Optional[LatencyRecorder] = None
+        #: Logical RPCs resolved (completed once, or declared lost).
+        self.resolved_total = 0
+        self.lost_total = 0
+        if self.robust:
+            from ..faults import FaultInjector, FaultPlan, RetryConfig
+
+            self.fault_plan = faults if faults is not None else FaultPlan()
+            self.retry = retry if retry is not None else RetryConfig()
+            self.injector = FaultInjector(self.fault_plan, self)
+            self.injector.on_recovery.append(self._reclaim_after_recovery)
+            self.e2e_recorder = LatencyRecorder()
+        else:
+            self.fault_plan = None
         self.nodes: List[ClusterNode] = [
             ClusterNode(self, node_id, scheme_factory())
             for node_id in range(num_nodes)
@@ -353,11 +699,67 @@ class Cluster:
         return cores * speed
 
     def traffic_drained(self) -> bool:
-        """True once every generated request has completed."""
+        """True once every generated request has completed.
+
+        In robust mode, "completed" means every logical RPC *resolved*
+        — completed once or declared lost — so heartbeat / broadcast /
+        detector processes terminate even when some requests die to
+        injected faults.
+        """
+        if self.robust:
+            return (
+                self._expected_total > 0
+                and self.resolved_total >= self._expected_total
+            )
         return (
             self._expected_total > 0
             and self.completed_total >= self._expected_total
         )
+
+    # -- robust-mode fabric delivery and recovery reclaim --------------------
+
+    def _deliver_request(
+        self, src: int, dst: int, msg: SendMessage, msg_id: int
+    ) -> None:
+        """One request arrives at ``dst``'s NI (robust mode only)."""
+        attempt = self.nodes[src]._attempts.get(msg_id)
+        if not self.injector.node_up(dst):
+            self.injector.stats.crash_drops += 1
+            if attempt is not None:
+                attempt["vanished"] = True
+                if attempt["cancelled"]:
+                    # A delay spike pushed arrival past the client's
+                    # timeout; reclaim the credit now that the message
+                    # provably died.
+                    self.nodes[src]._reclaim_attempt(msg_id, attempt)
+            return
+        if attempt is not None:
+            if attempt["delivered"]:
+                return  # NI sequence-number dedup of a duplicated request
+            attempt["delivered"] = True
+        self.nodes[dst].chip.submit_message(msg)
+
+    def _reclaim_after_recovery(self, node: int) -> None:
+        """Ground-truth recovery of ``node``: reconnect and reclaim.
+
+        Every sender drops its abandoned attempts toward the recovered
+        node and takes the leaked send-slot credits back — the
+        transport-level reconnect a real client performs when a dead
+        peer returns.
+        """
+        for sender in self.nodes:
+            if sender.node_id == node:
+                continue
+            stale = [
+                (msg_id, attempt)
+                for msg_id, attempt in sender._attempts.items()
+                if attempt["dst"] == node
+                and attempt["cancelled"]
+                and attempt["slot"] is not None
+                and attempt["server_done"]
+            ]
+            for msg_id, attempt in stale:
+                sender._reclaim_attempt(msg_id, attempt)
 
     def run(
         self,
@@ -373,6 +775,11 @@ class Cluster:
                 f"requests_per_node must be positive, got {requests_per_node!r}"
             )
         self._expected_total = self.num_nodes * requests_per_node
+        #: Expected injection window; the fault plan materializes its
+        #: rate-based events over this horizon.
+        injection_ns = requests_per_node / (per_node_mrps * 1e6) * 1e9
+        if self.injector is not None:
+            self.injector.start(injection_ns)
         hub = None
         if self.telemetry:
             from ..telemetry import TelemetryHub, instrument_cluster
@@ -380,8 +787,7 @@ class Cluster:
             interval = self.telemetry_interval_ns
             if interval is None:
                 # ~200 sampler ticks across the expected injection window.
-                duration_ns = requests_per_node / (per_node_mrps * 1e6) * 1e9
-                interval = max(duration_ns / 200.0, 1.0)
+                interval = max(injection_ns / 200.0, 1.0)
             hub = TelemetryHub(sample_interval=interval)
             instrument_cluster(self, hub)
             self.env.attach_sampler(hub.make_sampler())
@@ -405,6 +811,23 @@ class Cluster:
         completed = sum(node.chip.stats.completed for node in self.nodes)
         elapsed_ns = self.env.now
         total_mrps = completed / elapsed_ns * 1e3 if elapsed_ns > 0 else 0.0
+        e2e = None
+        offered = 0
+        lost = 0
+        goodput = 0.0
+        availability = None
+        fault_stats = None
+        if self.robust:
+            fault_stats = self.injector.stats
+            e2e = self.e2e_recorder.summary(warmup_fraction=warmup_fraction)
+            offered = fault_stats.offered
+            lost = self.lost_total
+            goodput = (
+                fault_stats.completed / elapsed_ns * 1e3
+                if elapsed_ns > 0
+                else 0.0
+            )
+            availability = self.injector.availability(elapsed_ns)
         return ClusterResult(
             num_nodes=self.num_nodes,
             aggregate=aggregate,
@@ -420,4 +843,10 @@ class Cluster:
             ],
             router_stats=self.router.stats if self.router is not None else None,
             telemetry=hub.snapshot() if hub is not None else None,
+            e2e=e2e,
+            offered=offered,
+            lost=lost,
+            goodput_mrps=goodput,
+            availability=availability,
+            fault_stats=fault_stats,
         )

@@ -19,6 +19,7 @@ from .extensions import (
     run_rss_spray,
     run_validate,
 )
+from .faults import run_faults
 from .fig2 import run_fig2a, run_fig2b, run_fig2c, unit_mean_service
 from .fig6 import distribution_moments, run_fig6
 from .fig7 import run_fig7a, run_fig7b, run_fig7c, sweep_schemes
@@ -62,6 +63,7 @@ __all__ = [
     "run_validate",
     "run_cluster",
     "run_rack",
+    "run_faults",
     "run_bursts",
     "run_rss_spray",
     "run_outstanding_ablation",

@@ -36,6 +36,7 @@ from .extensions import (
     run_rss_spray,
     run_validate,
 )
+from .faults import run_faults
 from .fig2 import run_fig2a, run_fig2b, run_fig2c
 from .fig6 import run_fig6
 from .fig7 import run_fig7a, run_fig7b, run_fig7c
@@ -71,6 +72,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "sensitivity": run_sensitivity,
     "ext-cluster": run_cluster,
     "ext-rack": run_rack,
+    "ext-faults": run_faults,
     "ext-bursts": run_bursts,
     "ablation-rss-spray": run_rss_spray,
 }

@@ -1,0 +1,46 @@
+"""Deterministic fault injection for cluster runs.
+
+``repro.faults`` turns the fault tolerance question — what do µs-scale
+RPC tails look like when nodes crash, links degrade, and load signals
+go dark? — into a first-class, seed-reproducible experiment axis:
+
+* :class:`FaultPlan` declares *what goes wrong*: an explicit timeline
+  of :class:`NodeCrash` / :class:`NodeSlowdown` /
+  :class:`FabricDegradation` / :class:`SignalBlackout` events, plus
+  rate-based crash/slowdown generation and steady-state fabric noise,
+  all materialized deterministically from the run seed.
+* :class:`FaultInjector` executes a plan against a
+  :class:`repro.cluster.Cluster` as ordinary DES events.
+* :class:`RetryConfig` declares the client-side response: per-attempt
+  timeouts, bounded (or deliberately unbounded) retries with
+  exponential backoff, and optional hedged requests.
+* :class:`FaultStats` accounts for everything that went wrong and every
+  recovery action, per run, mergeable into sweep results.
+
+The ``ext-faults`` experiment sweeps fault rate x routing policy x
+retry/hedge configuration through this package.
+"""
+
+from .injector import FaultInjector
+from .plan import (
+    FabricDegradation,
+    FaultEvent,
+    FaultPlan,
+    FaultStats,
+    NodeCrash,
+    NodeSlowdown,
+    RetryConfig,
+    SignalBlackout,
+)
+
+__all__ = [
+    "FabricDegradation",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "NodeCrash",
+    "NodeSlowdown",
+    "RetryConfig",
+    "SignalBlackout",
+]

@@ -31,11 +31,26 @@ class LatencySummary:
     p999: float
     max: float
 
+    @property
+    def is_empty(self) -> bool:
+        """True when no samples backed this summary (all stats are NaN).
+
+        A run that completes zero RPCs (e.g. every request lost to an
+        injected crash) must produce this, never an exception.
+        """
+        return self.count == 0
+
+    @classmethod
+    def empty(cls) -> "LatencySummary":
+        """The canonical zero-sample summary: ``count=0``, NaN stats."""
+        nan = float("nan")
+        return cls(0, nan, nan, nan, nan, nan, nan, nan)
+
     @classmethod
     def from_values(cls, values: np.ndarray) -> "LatencySummary":
+        values = np.asarray(values, dtype=float)
         if values.size == 0:
-            nan = float("nan")
-            return cls(0, nan, nan, nan, nan, nan, nan, nan)
+            return cls.empty()
         p50, p90, p95, p99, p999 = np.percentile(
             values, [50.0, 90.0, 95.0, 99.0, 99.9]
         )
@@ -252,8 +267,7 @@ class StreamingLatencyRecorder:
         """
         hist = self._all if label is None else self._hists.get(label)
         if hist is None or hist.count == 0:
-            nan = float("nan")
-            return LatencySummary(0, nan, nan, nan, nan, nan, nan, nan)
+            return LatencySummary.empty()
         return LatencySummary(
             count=int(hist.count),
             mean=float(hist.total / hist.count),

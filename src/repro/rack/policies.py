@@ -26,7 +26,7 @@ Policies are deliberately simple and classic:
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Sequence
+from typing import AbstractSet, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -61,8 +61,9 @@ class ZipfDestinations:
         weights = np.array(
             [1.0 / (rank + 1.0) ** skew for rank in range(num_nodes)]
         )
-        #: Per-client peer lists and cumulative weights, client-indexed.
+        #: Per-client peer lists, raw weights, and cumulative weights.
         self._peers: List[np.ndarray] = []
+        self._weights: List[np.ndarray] = []
         self._cumulative: List[np.ndarray] = []
         for client in range(num_nodes):
             peers = np.array(
@@ -70,6 +71,7 @@ class ZipfDestinations:
             )
             peer_weights = weights[peers]
             self._peers.append(peers)
+            self._weights.append(peer_weights)
             self._cumulative.append(
                 np.cumsum(peer_weights / peer_weights.sum())
             )
@@ -77,26 +79,57 @@ class ZipfDestinations:
     def peers_of(self, client: int) -> Sequence[int]:
         return self._peers[client]
 
-    def sample(self, client: int, rng: np.random.Generator) -> int:
-        """Draw one destination for ``client`` by popularity."""
-        cumulative = self._cumulative[client]
+    def sample(
+        self,
+        client: int,
+        rng: np.random.Generator,
+        allowed: Optional[AbstractSet[int]] = None,
+    ) -> int:
+        """Draw one destination for ``client`` by popularity.
+
+        With ``allowed`` (a restricted candidate set, e.g. suspected
+        servers excluded), popularity renormalizes over the allowed
+        peers. ``allowed=None`` keeps the exact historical draw
+        sequence (one uniform variate against precomputed cumulative
+        weights).
+        """
+        if allowed is None:
+            cumulative = self._cumulative[client]
+            index = int(np.searchsorted(cumulative, rng.random(), side="right"))
+            return int(self._peers[client][min(index, len(cumulative) - 1)])
+        peers = self._peers[client]
+        keep = [i for i, node in enumerate(peers) if int(node) in allowed]
+        if not keep:
+            keep = list(range(len(peers)))
+        weights = self._weights[client][keep]
+        cumulative = np.cumsum(weights / weights.sum())
         index = int(np.searchsorted(cumulative, rng.random(), side="right"))
-        return int(self._peers[client][min(index, len(cumulative) - 1)])
+        return int(peers[keep[min(index, len(cumulative) - 1)]])
 
     def sample_distinct(
-        self, client: int, count: int, rng: np.random.Generator
+        self,
+        client: int,
+        count: int,
+        rng: np.random.Generator,
+        allowed: Optional[AbstractSet[int]] = None,
     ) -> List[int]:
         """Draw ``count`` distinct destinations by popularity.
 
         Rejection-samples (cheap for rack-sized fan-outs); falls back to
-        the full peer list when ``count`` exhausts it.
+        the full candidate list when ``count`` exhausts it.
         """
         peers = self._peers[client]
-        if count >= len(peers):
-            return [int(node) for node in peers]
+        if allowed is not None:
+            pool = [int(node) for node in peers if int(node) in allowed]
+            if not pool:
+                pool = [int(node) for node in peers]
+        else:
+            pool = [int(node) for node in peers]
+        if count >= len(pool):
+            return pool
         chosen: List[int] = []
         while len(chosen) < count:
-            candidate = self.sample(client, rng)
+            candidate = self.sample(client, rng, allowed)
             if candidate not in chosen:
                 chosen.append(candidate)
         return chosen
@@ -122,11 +155,27 @@ class RackPolicy(abc.ABC):
     ) -> int:
         """Return the destination node id for one request.
 
-        ``estimates`` maps every peer to the client's current belief
-        about its outstanding load (see :mod:`repro.rack.signals`);
+        ``estimates``' key set is the *candidate set*: normally every
+        peer of ``client``, but the router may exclude
+        suspected-dead servers — policies must route within it. Values
+        are the client's current belief about each candidate's
+        outstanding load (see :mod:`repro.rack.signals`);
         ``capacities`` maps peers to relative service capacity
         (cores x speed, 1.0 for a homogeneous rack).
         """
+
+
+def _restriction(
+    client: int, destinations: "ZipfDestinations", estimates: Dict[int, float]
+):
+    """The allowed-set for sampling, or None for the full peer set.
+
+    Returning None on the unrestricted (common) case keeps the
+    historical RNG draw sequence bit-identical.
+    """
+    if len(estimates) == len(destinations.peers_of(client)):
+        return None
+    return estimates.keys()
 
 
 class UniformRandomPolicy(RackPolicy):
@@ -135,7 +184,9 @@ class UniformRandomPolicy(RackPolicy):
     label = "random"
 
     def choose(self, client, destinations, estimates, capacities, rng):
-        return destinations.sample(client, rng)
+        return destinations.sample(
+            client, rng, _restriction(client, destinations, estimates)
+        )
 
 
 class RoundRobinPolicy(RackPolicy):
@@ -153,6 +204,15 @@ class RoundRobinPolicy(RackPolicy):
     def choose(self, client, destinations, estimates, capacities, rng):
         peers = destinations.peers_of(client)
         cursor = self._cursor.get(client, client % len(peers))
+        if len(estimates) != len(peers):
+            # Advance past excluded (suspected) peers; at most one full
+            # cycle, falling back to the raw cursor if all are excluded.
+            for _ in range(len(peers)):
+                node = int(peers[cursor % len(peers)])
+                cursor += 1
+                if node in estimates:
+                    self._cursor[client] = cursor
+                    return node
         self._cursor[client] = cursor + 1
         return int(peers[cursor % len(peers)])
 
@@ -181,7 +241,9 @@ class PowerOfD(RackPolicy):
         self.label = f"jsq{d}"
 
     def choose(self, client, destinations, estimates, capacities, rng):
-        candidates = destinations.sample_distinct(client, self.d, rng)
+        candidates = destinations.sample_distinct(
+            client, self.d, rng, _restriction(client, destinations, estimates)
+        )
         return _argmin_with_random_ties(candidates, estimates, rng)
 
 
@@ -197,12 +259,14 @@ class ShortestExpectedDelay(RackPolicy):
     uses_load_signal = True
 
     def choose(self, client, destinations, estimates, capacities, rng):
-        peers = destinations.peers_of(client)
+        # The candidate set is the estimates key set (insertion order
+        # follows peers_of, so draws match the historical behaviour
+        # when no peer is excluded).
         score = {
-            int(node): (estimates[int(node)] + 1.0) / capacities[int(node)]
-            for node in peers
+            node: (estimate + 1.0) / capacities[node]
+            for node, estimate in estimates.items()
         }
-        return _argmin_with_random_ties([int(n) for n in peers], score, rng)
+        return _argmin_with_random_ties(list(score), score, rng)
 
 
 def make_policy(spec: str) -> RackPolicy:

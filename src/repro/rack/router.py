@@ -43,6 +43,12 @@ class RouterStats:
     #: Sum/count of |estimate - true load| at load-aware decisions.
     signal_error_sum: float = 0.0
     signal_error_count: int = 0
+    #: Attempts the client abandoned (timeout) with outstanding corrected.
+    abandoned: int = 0
+    #: Failure-detector activity (robust runs with suspicion enabled).
+    suspicions: int = 0
+    readmissions: int = 0
+    false_suspicions: int = 0
 
     @property
     def mean_signal_error(self) -> float:
@@ -70,6 +76,13 @@ class RackRouter:
         ``"piggyback"``, ``"broadcast:<ns>"``).
     skew:
         Zipf exponent of destination popularity (0 = uniform).
+    suspect_after_ns:
+        Enables the failure detector (robust clusters only): a server
+        not heard from for this long is *suspected* and removed from
+        the routing candidate set until a heartbeat readmits it.
+    heartbeat_period_ns:
+        Liveness heartbeat period; defaults to ``suspect_after_ns / 4``
+        so a healthy server is never falsely suspected by timing alone.
     """
 
     def __init__(
@@ -77,14 +90,29 @@ class RackRouter:
         policy: "RackPolicy | str" = "random",
         signal: "LoadSignal | str" = "fresh",
         skew: float = 0.0,
+        suspect_after_ns: Optional[float] = None,
+        heartbeat_period_ns: Optional[float] = None,
     ) -> None:
+        if suspect_after_ns is not None and suspect_after_ns <= 0:
+            raise ValueError(
+                f"suspect_after_ns must be positive, got {suspect_after_ns!r}"
+            )
+        if heartbeat_period_ns is not None and heartbeat_period_ns <= 0:
+            raise ValueError(
+                f"heartbeat_period_ns must be positive, got {heartbeat_period_ns!r}"
+            )
         self.policy = make_policy(policy) if isinstance(policy, str) else policy
         self.signal = make_signal(signal) if isinstance(signal, str) else signal
         self.skew = skew
+        self.suspect_after_ns = suspect_after_ns
+        self.heartbeat_period_ns = heartbeat_period_ns
         self.cluster: Optional["Cluster"] = None
         self.num_nodes = 0
         #: Ground truth: RPCs routed to node j and not yet completed.
         self.outstanding: List[int] = []
+        #: Servers the failure detector currently believes are dead.
+        self.suspected: set = set()
+        self.last_heard: List[float] = []
         self.destinations: Optional[ZipfDestinations] = None
         self.capacities: Dict[int, float] = {}
         self.stats = RouterStats(
@@ -94,6 +122,7 @@ class RackRouter:
         #: :func:`repro.telemetry.instrument_cluster` (None = disabled).
         self.decision_counters: Optional[List] = None
         self.staleness_hist = None
+        self.detection_hist = None
 
     # -- wiring -----------------------------------------------------------
 
@@ -103,6 +132,8 @@ class RackRouter:
         self.num_nodes = cluster.num_nodes
         self.outstanding = [0] * self.num_nodes
         self.stats.routed = [0] * self.num_nodes
+        self.suspected = set()
+        self.last_heard = [0.0] * self.num_nodes
         self.destinations = ZipfDestinations(self.num_nodes, self.skew)
         self.capacities = {
             node: cluster.capacity_weight(node) for node in range(self.num_nodes)
@@ -112,16 +143,100 @@ class RackRouter:
     def start(self) -> None:
         """Traffic is about to start (spawns broadcast processes)."""
         self.signal.start()
+        cluster = self.cluster
+        injector = getattr(cluster, "injector", None)
+        if self.suspect_after_ns is not None and injector is not None:
+            period = self.heartbeat_period_ns
+            if period is None:
+                period = self.suspect_after_ns / 4.0
+            self._hb_period = period
+            for server in range(self.num_nodes):
+                cluster.env.process(
+                    self._heartbeat(server), name=f"heartbeat-{server}"
+                )
+            cluster.env.process(self._detector(), name="fault-detector")
+
+    # -- failure detection -------------------------------------------------
+
+    def _heartbeat(self, server: int):
+        """Server-side liveness beacon: one message per period.
+
+        Suppressed while the server is down or the signal plane is
+        blacked out; the message crosses the fault-injected fabric, so
+        heartbeats can be dropped or delayed like any other traffic.
+        """
+        cluster = self.cluster
+        env = cluster.env
+        injector = cluster.injector
+        fabric = cluster.fabric
+        #: Delivered to the rack-wide detector after the server's
+        #: worst-case one-way latency to any peer.
+        delay = max(
+            fabric.latency_ns(server, peer)
+            for peer in range(self.num_nodes)
+            if peer != server
+        )
+        while not cluster.traffic_drained():
+            yield env.timeout(self._hb_period)
+            if not injector.node_up(server) or injector.signals_dark():
+                continue
+            injector.transmit(delay, self._heartbeat_received, server)
+
+    def _heartbeat_received(self, server: int) -> None:
+        self.last_heard[server] = self.cluster.env.now
+        if server in self.suspected:
+            self.suspected.discard(server)
+            self.stats.readmissions += 1
+            self.cluster.injector.stats.readmissions += 1
+
+    def _detector(self):
+        """Rack-wide suspicion sweep, once per heartbeat period."""
+        cluster = self.cluster
+        env = cluster.env
+        injector = cluster.injector
+        threshold = self.suspect_after_ns
+        while not cluster.traffic_drained():
+            yield env.timeout(self._hb_period)
+            now = env.now
+            for server in range(self.num_nodes):
+                if server in self.suspected:
+                    continue
+                if now - self.last_heard[server] <= threshold:
+                    continue
+                self.suspected.add(server)
+                self.stats.suspicions += 1
+                fault_stats = injector.stats
+                fault_stats.suspicions += 1
+                crashed_at = injector.crashed_at[server]
+                if crashed_at is None:
+                    self.stats.false_suspicions += 1
+                    fault_stats.false_suspicions += 1
+                else:
+                    latency = now - crashed_at
+                    fault_stats.detection_latency_ns.append(latency)
+                    if self.detection_hist is not None:
+                        self.detection_hist.record(latency)
 
     # -- the decision -----------------------------------------------------
 
     def choose(self, client: int, rng: np.random.Generator) -> int:
-        """Route one RPC issued by ``client``; returns the server id."""
+        """Route one RPC issued by ``client``; returns the server id.
+
+        The candidate set is the key set of ``estimates``: all of the
+        client's peers, minus currently-suspected servers (falling back
+        to every peer when all are suspected — routing somewhere beats
+        routing nowhere).
+        """
         signal = self.signal
-        estimates = {
-            int(node): signal.estimate(client, int(node))
-            for node in self.destinations.peers_of(client)
-        }
+        peers = self.destinations.peers_of(client)
+        suspected = self.suspected
+        if suspected:
+            candidates = [int(node) for node in peers if int(node) not in suspected]
+            if not candidates:
+                candidates = [int(node) for node in peers]
+        else:
+            candidates = [int(node) for node in peers]
+        estimates = {node: signal.estimate(client, node) for node in candidates}
         dst = self.policy.choose(
             client, self.destinations, estimates, self.capacities, rng
         )
@@ -150,6 +265,16 @@ class RackRouter:
         """
         self.outstanding[server] -= 1
         return float(self.outstanding[server])
+
+    def on_attempt_abandoned(self, server: int) -> None:
+        """A client abandoned (timed out) an attempt routed to ``server``.
+
+        Corrects the ground-truth outstanding count exactly once per
+        routed attempt — the attempt record's ``open`` flag guarantees
+        either this or :meth:`on_complete` fires, never both.
+        """
+        self.outstanding[server] -= 1
+        self.stats.abandoned += 1
 
     @property
     def wants_reply_reports(self) -> bool:

@@ -129,20 +129,24 @@ class BroadcastSignal(LoadSignal):
 
         cluster = self.router.cluster
         env = cluster.env
+        injector = getattr(cluster, "injector", None)
         while not cluster.traffic_drained():
             yield env.timeout(self.period_ns)
+            if injector is not None and (
+                not injector.node_up(server) or injector.signals_dark()
+            ):
+                # A down server broadcasts nothing; a signal blackout
+                # silences the whole signal plane. The view only ages.
+                continue
             load = float(self.router.outstanding[server])
             for client in range(self.router.num_nodes):
                 if client == server:
                     continue
-                delayed_call(
-                    env,
-                    cluster.fabric.latency_ns(server, client),
-                    self._deliver,
-                    client,
-                    server,
-                    load,
-                )
+                delay = cluster.fabric.latency_ns(server, client)
+                if injector is not None:
+                    injector.transmit(delay, self._deliver, client, server, load)
+                else:
+                    delayed_call(env, delay, self._deliver, client, server, load)
 
     def _deliver(self, client: int, server: int, load: float) -> None:
         self.estimates[client][server] = load

@@ -263,8 +263,33 @@ class ProgressReporter:
             return None
         slowest = max(self._walls)
         mean = sum(self._walls) / len(self._walls)
-        ratio = slowest / mean if mean > 0 else float("inf")
-        return f"slowest {slowest:.1f}s = {ratio:.1f}x mean"
+        if mean <= 0:
+            # Every measured task took ~0s (e.g. trivial smoke tasks);
+            # a ratio would be inf/NaN noise, so say nothing.
+            return None
+        return f"slowest {slowest:.1f}s = {slowest / mean:.1f}x mean"
+
+    def eta_s(self, elapsed: float) -> Optional[float]:
+        """Seconds remaining, or ``None`` when there is no evidence yet.
+
+        Extrapolates from the mean wall-clock of *computed* tasks only:
+        cache hits complete in ~0s and must not drag the rate estimate
+        to infinity (the all-hits sweep would otherwise print a
+        division-by-zero ETA, and a first task finishing in ~0s would
+        predict 0s for an hour of remaining work). The rate denominator
+        is clamped so a pathological ~0 elapsed stays finite.
+        """
+        remaining = self.total - self.done
+        if remaining <= 0:
+            return 0.0
+        computed = self.done - self.cached
+        if computed <= 0:
+            # Only cache hits so far: no compute-rate evidence. If the
+            # remaining tasks also hit they finish in ~0s; if not, any
+            # extrapolation would be fiction. Report "unknown".
+            return None
+        rate = computed / max(elapsed, 1e-9)
+        return remaining / rate
 
     def task_done(
         self,
@@ -284,7 +309,8 @@ class ProgressReporter:
             return
         self._last_print = now
         elapsed = now - self._started
-        eta = elapsed / self.done * (self.total - self.done)
+        eta = self.eta_s(elapsed)
+        eta_text = "--" if eta is None else f"{eta:.1f}s"
         percent = 100.0 * self.done / self.total
         extras = []
         if self.cached:
@@ -295,7 +321,7 @@ class ProgressReporter:
         suffix = f" [{'; '.join(extras)}]" if extras else ""
         print(
             f"[{self.label}] {self.done}/{self.total} ({percent:.0f}%) "
-            f"elapsed {elapsed:.1f}s ETA {eta:.1f}s{suffix} — {task_label}",
+            f"elapsed {elapsed:.1f}s ETA {eta_text}{suffix} — {task_label}",
             file=self.stream,
             flush=True,
         )

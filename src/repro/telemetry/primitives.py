@@ -127,6 +127,7 @@ class Histogram:
         "name",
         "buckets_per_octave",
         "_inv_log_base",
+        "_base",
         "counts",
         "zero_count",
         "count",
@@ -147,6 +148,7 @@ class Histogram:
         self.name = name
         self.buckets_per_octave = buckets_per_octave
         self._inv_log_base = buckets_per_octave / math.log(2.0)
+        self._base = 2.0 ** (1.0 / buckets_per_octave)
         self.counts: Dict[int, int] = {}
         self.zero_count = 0
         self.count = 0
@@ -169,9 +171,30 @@ class Histogram:
         if value == 0:
             self.zero_count += 1
             return
-        index = math.floor(math.log(value) * self._inv_log_base)
+        index = self._bucket_index(value)
         counts = self.counts
         counts[index] = counts.get(index, 0) + 1
+
+    def _bucket_index(self, value: float) -> int:
+        """Bucket of ``value``, exact at bucket edges.
+
+        ``floor(log(value) / log(base))`` alone misplaces values landing
+        exactly on a bucket edge (e.g. ``8.0`` at 64 buckets/octave,
+        where float error yields 191.99999999999997 -> bucket 191): the
+        value then sits in a bucket whose bounds exclude it, and
+        quantiles drift a full bucket low. Snap boundary-adjacent
+        results against the exact bucket bounds.
+        """
+        scaled = math.log(value) * self._inv_log_base
+        index = math.floor(scaled)
+        fraction = scaled - index
+        if fraction < 1e-7 or fraction > 1.0 - 1e-7:
+            base = self._base
+            if value >= base ** (index + 1):
+                index += 1
+            elif value < base**index:
+                index -= 1
+        return index
 
     def record_many(self, values: np.ndarray) -> None:
         """Vectorized :meth:`record` for an array of observations."""
@@ -188,7 +211,14 @@ class Histogram:
         self.zero_count += int(values.size - positive.size)
         if positive.size == 0:
             return
-        indices = np.floor(np.log(positive) * self._inv_log_base).astype(np.int64)
+        scaled = np.log(positive) * self._inv_log_base
+        indices = np.floor(scaled).astype(np.int64)
+        # Same edge snapping as :meth:`_bucket_index`, applied only to
+        # the boundary-adjacent entries so the bulk stays vectorized.
+        fractions = scaled - indices
+        near_edge = np.flatnonzero((fractions < 1e-7) | (fractions > 1.0 - 1e-7))
+        for position in near_edge.tolist():
+            indices[position] = self._bucket_index(float(positive[position]))
         uniques, counts = np.unique(indices, return_counts=True)
         bucket_counts = self.counts
         for index, count in zip(uniques.tolist(), counts.tolist()):
@@ -202,7 +232,7 @@ class Histogram:
 
     def bucket_bounds(self, index: int) -> Tuple[float, float]:
         """The ``[low, high)`` value range of bucket ``index``."""
-        base = 2.0 ** (1.0 / self.buckets_per_octave)
+        base = self._base
         return base**index, base ** (index + 1)
 
     def quantile(self, q: float) -> float:

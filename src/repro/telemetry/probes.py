@@ -95,6 +95,9 @@ def instrument_chip(chip: "Chip", hub: TelemetryHub) -> TelemetryHub:
 #: Canonical metric name of the router staleness-error histogram.
 RACK_SIGNAL_ERROR = "rack.signal_error"
 
+#: Canonical metric name of the failure-detector latency histogram.
+FAULT_DETECTION_LATENCY = "faults.detection_latency_ns"
+
 
 def instrument_cluster(cluster: "Cluster", hub: TelemetryHub) -> TelemetryHub:
     """Attach cluster-level probes to every node of ``cluster``.
@@ -137,4 +140,18 @@ def instrument_cluster(cluster: "Cluster", hub: TelemetryHub) -> TelemetryHub:
             for node_id in range(cluster.num_nodes)
         ]
         router.staleness_hist = hub.histogram(RACK_SIGNAL_ERROR)
+    injector = getattr(cluster, "injector", None)
+    if injector is not None:
+        # Fault-layer counter tracks: nodes currently down, plus the
+        # cumulative retry / hedge / timeout / fabric-drop activity —
+        # sampled from the injector's running stats so Perfetto shows
+        # when a retry storm ignites, not just its final total.
+        hub.add_probe("faults.nodes_down", lambda inj=injector: inj.nodes_down())
+        stats = injector.stats
+        hub.add_probe("faults.retries", lambda s=stats: s.retries)
+        hub.add_probe("faults.hedges", lambda s=stats: s.hedges)
+        hub.add_probe("faults.timeouts", lambda s=stats: s.timeouts)
+        hub.add_probe("faults.msg_drops", lambda s=stats: s.msg_drops)
+        if router is not None and router.suspect_after_ns is not None:
+            router.detection_hist = hub.histogram(FAULT_DETECTION_LATENCY)
     return hub

@@ -87,6 +87,45 @@ class TestFingerprint:
         assert fingerprint(a) == fingerprint(b)
         assert fingerprint(a) != fingerprint(c)
 
+    def test_fault_config_changes_the_fingerprint(self):
+        from repro.faults import FaultPlan, NodeCrash, RetryConfig
+
+        base = (FaultPlan(drop_prob=0.1), RetryConfig())
+        twin = (FaultPlan(drop_prob=0.1), RetryConfig())
+        other_plan = (FaultPlan(drop_prob=0.2), RetryConfig())
+        other_retry = (FaultPlan(drop_prob=0.1), RetryConfig(max_retries=None))
+        with_event = (
+            FaultPlan(
+                drop_prob=0.1,
+                events=(NodeCrash(node=0, at_ns=10.0, outage_ns=5.0),),
+            ),
+            RetryConfig(),
+        )
+        prints = [
+            fingerprint(value)
+            for value in (base, other_plan, other_retry, with_event)
+        ]
+        assert fingerprint(base) == fingerprint(twin)
+        assert len(set(prints)) == 4
+
+    def test_fault_task_key_changes_with_fault_config(self, cache):
+        from repro.experiments.faults import _run_faults_task
+
+        def task(plan_kwargs, retry_kwargs):
+            return ("k", 12.0, plan_kwargs, retry_kwargs, None, 100, 1)
+
+        base = cache.key_for(
+            _run_faults_task, task((("drop_prob", 0.1),), (("max_retries", 2),))
+        )
+        other_plan = cache.key_for(
+            _run_faults_task, task((("drop_prob", 0.2),), (("max_retries", 2),))
+        )
+        other_retry = cache.key_for(
+            _run_faults_task,
+            task((("drop_prob", 0.1),), (("max_retries", None),)),
+        )
+        assert len({base, other_plan, other_retry}) == 3
+
     def test_live_rng_refused(self):
         with pytest.raises(Unfingerprintable):
             fingerprint(np.random.default_rng(0))

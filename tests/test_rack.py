@@ -181,6 +181,19 @@ class TestHeterogeneousCluster:
         assert mesh_geometry(12) == (3, 4)
         assert mesh_geometry(7) == (1, 7)
 
+    def test_mesh_geometry_every_count_factors_exactly(self):
+        # Primes must degrade to a 1xN row, never raise; the float-sqrt
+        # regression sent e.g. 25 -> isqrt-adjacent rows that missed
+        # the exact factor.
+        for cores in range(1, 33):
+            rows, cols = mesh_geometry(cores)
+            assert rows * cols == cores
+            assert 1 <= rows <= cols
+        assert mesh_geometry(25) == (5, 5)
+        assert mesh_geometry(31) == (1, 31)  # prime
+        with pytest.raises(ValueError):
+            mesh_geometry(0)
+
     def test_core_counts_change_capacity(self):
         cluster = Cluster(num_nodes=3, core_counts=[16, 16, 8], seed=0)
         assert cluster.capacity_weight(0) == 16.0

@@ -260,6 +260,44 @@ def test_progress_reporter_counts_and_eta():
     assert "ETA 0.0s" in lines[-1]
 
 
+def test_progress_reporter_eta_all_cache_hits_reports_unknown():
+    # An all-hits prefix used to divide by a zero compute rate; the ETA
+    # must come back as "unknown", never a crash or infinity.
+    stream = io.StringIO()
+    reporter = ProgressReporter(4, label="c", stream=stream, min_interval_s=0.0)
+    reporter.task_done("a", wall_s=0.0, cached=True)
+    assert reporter.eta_s(10.0) is None
+    assert "ETA --" in stream.getvalue().splitlines()[0]
+    # First computed task restores a finite extrapolation: 1 computed
+    # in 4s -> rate 0.25/s -> 2 remaining -> 8s.
+    reporter.task_done("b", wall_s=2.0)
+    assert reporter.eta_s(4.0) == pytest.approx(8.0)
+
+
+def test_progress_reporter_eta_zero_elapsed_stays_finite():
+    reporter = ProgressReporter(
+        3, stream=io.StringIO(), min_interval_s=0.0
+    )
+    reporter.task_done("a", wall_s=0.0)
+    eta = reporter.eta_s(0.0)
+    assert eta is not None and eta == pytest.approx(0.0, abs=1e-6)
+
+
+def test_progress_reporter_eta_zero_remaining_is_zero():
+    reporter = ProgressReporter(1, stream=io.StringIO(), min_interval_s=0.0)
+    reporter.task_done("a", wall_s=1.0)
+    assert reporter.eta_s(1.0) == 0.0
+
+
+def test_progress_reporter_straggler_stats_quiet_on_zero_mean():
+    reporter = ProgressReporter(3, stream=io.StringIO(), min_interval_s=0.0)
+    reporter.task_done("a", wall_s=0.0)
+    reporter.task_done("b", wall_s=0.0)
+    assert reporter.straggler_stats() is None  # no inf/NaN ratio noise
+    reporter.task_done("c", wall_s=3.0)
+    assert "slowest 3.0s" in reporter.straggler_stats()
+
+
 def test_progress_reporter_rate_limits_but_always_prints_final():
     stream = io.StringIO()
     reporter = ProgressReporter(

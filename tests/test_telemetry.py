@@ -101,6 +101,36 @@ def test_histogram_quantile_relative_error_bound():
         assert exact / ratio <= approx <= exact * ratio
 
 
+def test_histogram_bucket_edge_values_land_in_their_bucket():
+    # Values on an exact bucket edge (8.0 = base**192 at 64
+    # buckets/octave) used to floor one bucket low from float log
+    # error, dragging quantiles a full bucket under the true value.
+    h = Histogram("edge", buckets_per_octave=64)
+    for value in (2.0, 4.0, 8.0, 16.0, 2.0 ** (1 / 64), 2.0 ** (193 / 64)):
+        index = h._bucket_index(value)
+        low, high = h.bucket_bounds(index)
+        assert low <= value < high, value
+
+
+def test_histogram_edge_quantile_not_a_bucket_low():
+    h = Histogram("edge")
+    for _ in range(100):
+        h.record(8.0)
+    ratio = 2.0 ** (1.0 / h.buckets_per_octave)
+    for q in (0.5, 0.99):
+        assert 8.0 <= h.quantile(q) <= 8.0 * ratio
+
+
+def test_histogram_record_many_edge_snap_matches_scalar_path():
+    values = np.array([8.0] * 8 + [5.0, 16.0, 2.0, 0.0, 2.0 ** (65 / 64)])
+    scalar, vectorized = Histogram("a"), Histogram("b")
+    for value in values:
+        scalar.record(float(value))
+    vectorized.record_many(values)
+    assert scalar.counts == vectorized.counts
+    assert scalar.zero_count == vectorized.zero_count
+
+
 def test_histogram_quantile_edges():
     h = Histogram()
     assert math.isnan(h.quantile(0.5))
