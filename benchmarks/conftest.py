@@ -14,11 +14,13 @@ the session writes them to ``benchmarks/output/bench_timings.json`` so
 figure-regeneration cost can be tracked across commits.
 """
 
+import datetime
 import json
 import os
 import pathlib
+import subprocess
 import time
-from typing import Dict
+from typing import Dict, Optional
 
 import pytest
 
@@ -60,19 +62,57 @@ def run_once(benchmark, func, **kwargs):
     return result
 
 
+def _git_sha() -> Optional[str]:
+    """Current commit SHA, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=pathlib.Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
 def pytest_sessionfinish(session, exitstatus):
-    """Persist per-figure wall-clock timings for cross-commit tracking."""
+    """Persist per-figure wall-clock timings for cross-commit tracking.
+
+    Alongside the timings each payload records its provenance —
+    timestamp, git SHA, profile, workers — and embeds the prior
+    payload (one level only) under ``previous`` so
+    ``benchmarks/compare_timings.py`` can print per-figure deltas
+    without any external history.
+    """
     if not _TIMINGS:
         return
     from repro.runner import resolve_workers
 
     OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / "bench_timings.json"
+    previous = None
+    if path.exists():
+        try:
+            previous = json.loads(path.read_text())
+        except (OSError, ValueError):
+            previous = None
+        if isinstance(previous, dict):
+            # One generation of history is enough for a delta report;
+            # unbounded nesting would grow the file every run.
+            previous.pop("previous", None)
     payload = {
         "profile": PROFILE,
         # The resolved integer (REPRO_WORKERS, else 1 = serial), not the
         # raw env string — "" used to land here when the var was unset.
         "workers": resolve_workers(),
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "git_sha": _git_sha(),
         "wall_clock_s": dict(sorted(_TIMINGS.items())),
     }
-    path = OUTPUT_DIR / "bench_timings.json"
+    if previous is not None:
+        payload["previous"] = previous
     path.write_text(json.dumps(payload, indent=2) + "\n")

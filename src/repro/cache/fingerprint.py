@@ -49,6 +49,7 @@ SIM_MODULES: Tuple[str, ...] = (
     "cluster",
     "core",
     "dists",
+    "fastpath",
     "metrics",
     "queueing",
     "rack",

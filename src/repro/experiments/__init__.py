@@ -33,6 +33,7 @@ from .persistence import (
     save_result,
 )
 from .rack import run_rack
+from .scale import run_scale
 from .sensitivity import run_sensitivity
 
 __all__ = [
@@ -63,6 +64,7 @@ __all__ = [
     "run_validate",
     "run_cluster",
     "run_rack",
+    "run_scale",
     "run_faults",
     "run_bursts",
     "run_rss_spray",

@@ -44,9 +44,10 @@ from .fig8 import run_fig8
 from .fig9 import run_fig9
 from .headline import run_headline
 from .rack import run_rack
+from .scale import run_scale
 from .sensitivity import run_sensitivity
 
-__all__ = ["EXPERIMENTS", "main", "collect_sweeps"]
+__all__ = ["EXPERIMENTS", "ENGINE_AWARE", "main", "collect_sweeps"]
 
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig2a": run_fig2a,
@@ -72,10 +73,15 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "sensitivity": run_sensitivity,
     "ext-cluster": run_cluster,
     "ext-rack": run_rack,
+    "ext-scale": run_scale,
     "ext-faults": run_faults,
     "ext-bursts": run_bursts,
     "ablation-rss-spray": run_rss_spray,
 }
+
+#: Experiments whose driver accepts ``engine=`` (see
+#: :mod:`repro.fastpath`); everything else always runs the DES.
+ENGINE_AWARE = frozenset({"ext-rack", "ext-scale", "headline"})
 
 
 def collect_sweeps(value) -> List[SweepResult]:
@@ -115,6 +121,17 @@ def main(argv=None) -> int:
             "fan independent load points across N worker processes "
             "(default: REPRO_WORKERS env var, else serial); results are "
             "bit-identical for every worker count"
+        ),
+    )
+    parser.add_argument(
+        "--engine",
+        default=None,
+        choices=("des", "fast", "fluid", "auto"),
+        help=(
+            "simulation tier for engine-aware experiments "
+            f"({', '.join(sorted(ENGINE_AWARE))}); default: each driver's "
+            "own default (see EXPERIMENTS.md 'Engine tiers'); other "
+            "experiments always run the DES"
         ),
     )
     parser.add_argument(
@@ -181,8 +198,11 @@ def main(argv=None) -> int:
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         started = time.time()
+        kwargs = {}
+        if args.engine is not None and name in ENGINE_AWARE:
+            kwargs["engine"] = args.engine
         result = EXPERIMENTS[name](
-            profile=args.profile, seed=args.seed, workers=args.workers
+            profile=args.profile, seed=args.seed, workers=args.workers, **kwargs
         )
         elapsed = time.time() - started
         print(result.table())

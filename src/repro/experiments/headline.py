@@ -5,6 +5,13 @@
 * reduces pre-saturation tail latency by up to 4×;
 * outperforms software-based load distribution by 2.3–2.7×;
 * performs within 3–15% of the theoretically optimal 1×16 model.
+
+``engine="fast"`` (the default) re-measures the three scheme-vs-scheme
+claims on the :mod:`repro.fastpath` single-chip surrogates — FIFO
+service processes whose fixed per-RPC cost is calibrated against the
+DES (the Fig. 9 "Model" recipe) — while claim 4, which is *about* the
+DES, always runs on it. ``engine="des"`` reproduces the original
+all-DES measurement bit-for-bit.
 """
 
 from __future__ import annotations
@@ -20,32 +27,13 @@ from .fig9 import model_vs_simulation
 __all__ = ["run_headline"]
 
 
-def run_headline(
-    profile: str = "quick", seed: int = 0, workers: Optional[int] = None
-) -> ExperimentResult:
-    """Measure each headline claim and report paper-vs-measured."""
-    rows: List[List[object]] = []
-    data: Dict[str, float] = {}
+def _sustained_tail_ratio(one_sweep, part_sweep) -> float:
+    """Max p99 ratio over load points BOTH schemes still sustain.
 
-    # -- claim 1: up to 1.4x over 16x1 under SLO (GEV is the paper's max).
-    fig7c = run_fig7c(profile, seed, kinds=("fixed", "gev"), workers=workers)
-    for kind in ("fixed", "gev"):
-        sweeps = fig7c.data["sweeps"][kind]
-        slo_ns = fig7c.data[f"slo_ns_{kind}"]
-        one = sweeps[f"1x16_{kind}"].throughput_under_slo(slo_ns)
-        partitioned = sweeps[f"16x1_{kind}"].throughput_under_slo(slo_ns)
-        ratio = one / partitioned if partitioned > 0 else float("inf")
-        data[f"tput_ratio_vs_16x1_{kind}"] = ratio
-        paper = "1.2x" if kind == "fixed" else "1.4x"
-        rows.append([f"1x16 vs 16x1 under SLO ({kind})", paper, f"{ratio:.2f}x"])
-
-    # -- claim 2: up to 4x lower tail before saturation (GEV).
-    # Compare per load point, restricted to points BOTH schemes still
-    # sustain (achieved ≈ offered): past its own saturation 16x1's tail
-    # diverges without bound and any ratio is meaningless.
-    sweeps = fig7c.data["sweeps"]["gev"]
-    one_sweep = sweeps["1x16_gev"]
-    part_sweep = sweeps["16x1_gev"]
+    Past its own saturation 16x1's tail diverges without bound and any
+    ratio is meaningless, so points are kept only while achieved
+    throughput tracks offered load (>= 97%) for both schemes.
+    """
     ratios = []
     for one_point, part_point in zip(one_sweep.points, part_sweep.points):
         sustained = (
@@ -54,15 +42,90 @@ def run_headline(
         )
         if sustained and one_point.p99 > 0:
             ratios.append(part_point.p99 / one_point.p99)
-    tail_ratio = max(ratios) if ratios else float("nan")
+    return max(ratios) if ratios else float("nan")
+
+
+def _claims_1_2_fast(
+    profile: str, seed: int, rows: List[List[object]], data: Dict[str, float]
+) -> None:
+    """Claims 1-2 via the fast tier, mirroring fig7c's recipe."""
+    from ..dists import synthetic
+    from ..fastpath import fast_scheme_sweep
+    from .common import calibrate_mean_service_ns, capacity_grid, get_profile
+
+    prof = get_profile(profile)
+    sweeps_by_kind = {}
+    for kind in ("fixed", "gev"):
+        workload = f"synthetic-{kind}"
+        # Same anchor as fig7c: S̄ measured on the DES 16x1 system.
+        mean_service = calibrate_mean_service_ns(workload, "16x1", seed)
+        capacity_mrps = 16.0 / (mean_service / 1e3)
+        loads = capacity_grid(capacity_mrps, prof.sweep_points)
+        slo_ns = 10.0 * mean_service
+        sweeps = {
+            scheme: fast_scheme_sweep(
+                scheme,
+                synthetic(kind),
+                loads,
+                prof.arch_requests,
+                seed,
+                mean_service,
+                label=f"{scheme}_{kind}",
+                experiment="fig7c",
+            )
+            for scheme in ("1x16", "16x1")
+        }
+        sweeps_by_kind[kind] = sweeps
+        one = sweeps["1x16"].throughput_under_slo(slo_ns)
+        partitioned = sweeps["16x1"].throughput_under_slo(slo_ns)
+        ratio = one / partitioned if partitioned > 0 else float("inf")
+        data[f"tput_ratio_vs_16x1_{kind}"] = ratio
+        paper = "1.2x" if kind == "fixed" else "1.4x"
+        rows.append([f"1x16 vs 16x1 under SLO ({kind})", paper, f"{ratio:.2f}x"])
+
+    tail_ratio = _sustained_tail_ratio(
+        sweeps_by_kind["gev"]["1x16"], sweeps_by_kind["gev"]["16x1"]
+    )
     data["tail_ratio_before_saturation"] = tail_ratio
     rows.append(
         ["16x1/1x16 p99 before saturation (gev)", "up to 4x", f"{tail_ratio:.2f}x"]
     )
 
-    # -- claim 3: 2.3-2.7x over software.
-    fig8 = run_fig8(profile, seed, workers=workers)
-    ratios = fig8.data["ratios"]
+
+def _claim_3_fast(
+    profile: str, seed: int, rows: List[List[object]], data: Dict[str, float]
+) -> None:
+    """Claim 3 via the fast tier, mirroring fig8's recipe."""
+    from ..balancing import SoftwareSingleQueue
+    from ..dists import SYNTHETIC_KINDS, synthetic
+    from ..fastpath import fast_scheme_sweep
+    from .common import calibrate_mean_service_ns, capacity_grid, get_profile
+
+    prof = get_profile(profile)
+    mean_service = calibrate_mean_service_ns("synthetic-fixed", "1x16", seed)
+    slo_ns = 10.0 * mean_service
+    capacity_mrps = 16.0 / (mean_service / 1e3)
+    software_ceiling_mrps = 1e3 / SoftwareSingleQueue().serialized_cost_ns
+    loads = sorted(
+        capacity_grid(capacity_mrps, prof.sweep_points)
+        + [0.85 * software_ceiling_mrps, 0.95 * software_ceiling_mrps]
+    )
+    ratios: Dict[str, float] = {}
+    for kind in SYNTHETIC_KINDS:
+        hw_tput, sw_tput = (
+            fast_scheme_sweep(
+                scheme,
+                synthetic(kind),
+                loads,
+                prof.arch_requests,
+                seed,
+                mean_service,
+                label=f"{kind}_{suffix}",
+                experiment="fig8",
+            ).throughput_under_slo(slo_ns)
+            for scheme, suffix in (("1x16", "hw"), ("sw-1x16", "sw"))
+        )
+        ratios[kind] = hw_tput / sw_tput if sw_tput > 0 else float("inf")
     finite = [ratio for ratio in ratios.values() if ratio != float("inf")]
     if finite:
         low, high = min(finite), max(finite)
@@ -71,7 +134,73 @@ def run_headline(
             ["1x16 hw vs sw under SLO", "2.3-2.7x", f"{low:.2f}-{high:.2f}x"]
         )
 
-    # -- claim 4: within 3-15% of the theoretical model.
+
+def run_headline(
+    profile: str = "quick",
+    seed: int = 0,
+    workers: Optional[int] = None,
+    engine: str = "fast",
+) -> ExperimentResult:
+    """Measure each headline claim and report paper-vs-measured.
+
+    ``engine``: ``fast`` (default) measures the scheme-comparison
+    claims on the calibrated single-chip surrogates; ``des`` runs every
+    claim on the DES exactly as before. Claim 4 (model-vs-DES gap) is
+    always DES. Tolerance bands for the fast tier are documented in
+    EXPERIMENTS.md ("Engine tiers").
+    """
+    from ..fastpath import resolve_engine
+
+    resolved = resolve_engine(engine, 1)
+    rows: List[List[object]] = []
+    data: Dict[str, float] = {}
+
+    if resolved == "des":
+        # -- claim 1: up to 1.4x over 16x1 under SLO (GEV is the paper's max).
+        fig7c = run_fig7c(profile, seed, kinds=("fixed", "gev"), workers=workers)
+        for kind in ("fixed", "gev"):
+            sweeps = fig7c.data["sweeps"][kind]
+            slo_ns = fig7c.data[f"slo_ns_{kind}"]
+            one = sweeps[f"1x16_{kind}"].throughput_under_slo(slo_ns)
+            partitioned = sweeps[f"16x1_{kind}"].throughput_under_slo(slo_ns)
+            ratio = one / partitioned if partitioned > 0 else float("inf")
+            data[f"tput_ratio_vs_16x1_{kind}"] = ratio
+            paper = "1.2x" if kind == "fixed" else "1.4x"
+            rows.append(
+                [f"1x16 vs 16x1 under SLO ({kind})", paper, f"{ratio:.2f}x"]
+            )
+
+        # -- claim 2: up to 4x lower tail before saturation (GEV).
+        sweeps = fig7c.data["sweeps"]["gev"]
+        tail_ratio = _sustained_tail_ratio(
+            sweeps["1x16_gev"], sweeps["16x1_gev"]
+        )
+        data["tail_ratio_before_saturation"] = tail_ratio
+        rows.append(
+            [
+                "16x1/1x16 p99 before saturation (gev)",
+                "up to 4x",
+                f"{tail_ratio:.2f}x",
+            ]
+        )
+
+        # -- claim 3: 2.3-2.7x over software.
+        fig8 = run_fig8(profile, seed, workers=workers)
+        ratios = fig8.data["ratios"]
+        finite = [ratio for ratio in ratios.values() if ratio != float("inf")]
+        if finite:
+            low, high = min(finite), max(finite)
+            data["sw_ratio_min"], data["sw_ratio_max"] = low, high
+            rows.append(
+                ["1x16 hw vs sw under SLO", "2.3-2.7x", f"{low:.2f}-{high:.2f}x"]
+            )
+    else:
+        # Fast tier: same recipes, calibrated surrogate queues.
+        _claims_1_2_fast(profile, seed, rows, data)
+        _claim_3_fast(profile, seed, rows, data)
+
+    # -- claim 4: within 3-15% of the theoretical model (always DES —
+    # the claim is about the DES itself).
     gaps = {}
     for kind in ("fixed", "gev"):
         panel = model_vs_simulation(kind, profile, seed, workers=workers)

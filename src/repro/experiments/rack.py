@@ -84,8 +84,32 @@ def _scenarios(mrps: float = MID_LOAD_MRPS) -> List[_Scenario]:
 
 
 def _run_rack_task(task) -> Dict[str, object]:
-    """One cluster run under one rack-scheduling scenario (pool-safe)."""
-    (key, policy, signal, skew, scheme, core_counts, mrps, requests, seed) = task
+    """One cluster run under one rack-scheduling scenario (pool-safe).
+
+    A 10th tuple element selects the engine ("des"/"fast"); 9-tuples
+    run the DES, so pre-engine task fingerprints (and their cached
+    results) stay valid.
+    """
+    (key, policy, signal, skew, scheme, core_counts, mrps, requests, seed) = task[
+        :9
+    ]
+    engine = task[9] if len(task) > 9 else "des"
+    if engine == "fast":
+        from ..fastpath import simulate_rack_fast
+
+        result = simulate_rack_fast(
+            NUM_NODES,
+            policy=policy,
+            signal=signal,
+            skew=skew,
+            scheme=scheme,
+            core_counts=list(core_counts) if core_counts else None,
+            per_node_mrps=mrps,
+            requests_per_node=requests,
+            seed=seed,
+            telemetry=True,
+        )
+        return _rack_row(key, result)
     from ..balancing import Partitioned, SingleQueue
     from ..cluster import Cluster
     from ..rack import RackRouter
@@ -100,6 +124,11 @@ def _run_rack_task(task) -> Dict[str, object]:
         telemetry=True,
     )
     result = cluster.run(per_node_mrps=mrps, requests_per_node=requests)
+    return _rack_row(key, result)
+
+
+def _rack_row(key: str, result) -> Dict[str, object]:
+    """The driver's per-scenario row, engine-agnostic."""
     stats = result.router_stats
     load_imbalance = cross_node_imbalance(
         [count or 1e-12 for count in result.per_node_completed]
@@ -122,20 +151,37 @@ def _run_rack_task(task) -> Dict[str, object]:
 
 
 def run_rack(
-    profile: str = "quick", seed: int = 0, workers: Optional[int] = None
+    profile: str = "quick",
+    seed: int = 0,
+    workers: Optional[int] = None,
+    engine: str = "fast",
 ) -> ExperimentResult:
-    """Two-level scheduling sweep across RPCValet servers."""
+    """Two-level scheduling sweep across RPCValet servers.
+
+    ``engine`` selects the simulation tier (see EXPERIMENTS.md "Engine
+    tiers"): ``fast`` (default) runs the DES-calibrated vectorized
+    engine, ``des`` the bit-identical ground-truth tier. ``auto``
+    resolves by rack size; the fluid tier has no stale-signal or
+    hot-shard model, so it falls back to ``fast`` here.
+    """
+    from ..fastpath import resolve_engine
     from ..telemetry import merge_snapshots
 
+    resolved = resolve_engine(engine, NUM_NODES)
+    if resolved == "fluid":
+        resolved = "fast"
     prof = get_profile(profile)
     requests = max(prof.arch_requests // 2, 1_500)
     scenarios = _scenarios()
     tasks = []
     for key, policy, signal, skew, scheme, cores, mrps in scenarios:
-        tasks.append(
-            (key, policy, signal, skew, scheme, cores, mrps, requests,
-             task_seed("ext-rack", key, 0, seed))
-        )
+        task = (key, policy, signal, skew, scheme, cores, mrps, requests,
+                task_seed("ext-rack", key, 0, seed))
+        if resolved != "des":
+            # Engine rides as a 10th element so DES fingerprints (and
+            # their cached results) are unchanged from earlier versions.
+            task = task + (resolved,)
+        tasks.append(task)
     outcome = map_points(
         _run_rack_task,
         tasks,

@@ -1,0 +1,48 @@
+"""Tiered simulation core: vectorized fast path + fluid/mean-field tier.
+
+The per-RPC DES (``repro.sim`` + ``repro.cluster``) is the bit-exact
+ground truth, but it prices every NI pipeline stage of every RPC — far
+too much fidelity for 100-1000-node rack sweeps. This package offers
+two cheaper tiers, selectable per run through ``engine=``:
+
+* ``fast`` (:mod:`repro.fastpath.fastcluster`,
+  :mod:`repro.fastpath.fastchip`) — a vectorized surrogate that keeps
+  per-RPC granularity but collapses the chip to a calibrated FIFO
+  service process: batched arrival/service sampling, per-node
+  server-free-time heaps, and a calendar-queue bucketed scheduler for
+  the departure traffic that dominates the DES event heap.
+* ``fluid`` (:mod:`repro.fastpath.fluid`) — a mean-field tier that
+  replaces per-RPC simulation entirely above a node-count threshold:
+  queue-length ODE trajectories per policy, with latency quantiles
+  sampled from the stationary distribution.
+
+``des`` stays the bit-exact ground truth and the default for every
+figure driver; the engine-aware drivers (``ext-rack``, ``headline``)
+default to ``fast`` and ``ext-scale`` to ``auto``, which picks ``fast``
+up to :data:`~repro.fastpath.select.DEFAULT_FLUID_THRESHOLD` nodes and
+``fluid`` above. Tolerance bands and the validity envelope of each
+tier are documented in EXPERIMENTS.md ("Engine tiers").
+"""
+
+from .calendar import CalendarQueue
+from .fastchip import fast_scheme_sweep
+from .fastcluster import (
+    calibrated_scheme_profile,
+    calibrated_service_overhead_ns,
+    simulate_rack_fast,
+)
+from .fluid import fluid_tail_measure, simulate_cluster_fluid
+from .select import DEFAULT_FLUID_THRESHOLD, ENGINES, resolve_engine
+
+__all__ = [
+    "CalendarQueue",
+    "DEFAULT_FLUID_THRESHOLD",
+    "ENGINES",
+    "calibrated_scheme_profile",
+    "calibrated_service_overhead_ns",
+    "fast_scheme_sweep",
+    "fluid_tail_measure",
+    "resolve_engine",
+    "simulate_cluster_fluid",
+    "simulate_rack_fast",
+]

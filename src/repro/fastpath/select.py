@@ -1,0 +1,51 @@
+"""Engine selection: ``des`` | ``fast`` | ``fluid`` | ``auto``.
+
+One tiny module so every engine-aware driver (``ext-rack``,
+``headline``, ``ext-scale``) resolves the knob identically:
+
+* ``des`` — the bit-exact per-RPC ground truth (the default).
+* ``fast`` — the vectorized surrogate (per-RPC, calibrated chip).
+* ``fluid`` — the mean-field tier (no per-RPC state at all).
+* ``auto`` — ``fast`` up to :data:`DEFAULT_FLUID_THRESHOLD` nodes,
+  ``fluid`` above, where the mean-field approximation is accurate
+  (its error shrinks as 1/K) and per-RPC cost would dominate.
+
+``REPRO_ENGINE`` overrides the programmatic choice, mirroring how
+``REPRO_WORKERS`` / ``REPRO_CACHE`` already behave.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["DEFAULT_FLUID_THRESHOLD", "ENGINES", "resolve_engine"]
+
+ENGINES = ("des", "fast", "fluid", "auto")
+
+#: Node count above which ``auto`` switches from ``fast`` to ``fluid``.
+DEFAULT_FLUID_THRESHOLD = 128
+
+
+def resolve_engine(
+    engine: str,
+    num_nodes: int,
+    threshold: int = DEFAULT_FLUID_THRESHOLD,
+) -> str:
+    """Resolve the ``engine=`` knob to a concrete tier for one run.
+
+    The ``REPRO_ENGINE`` environment variable, when set to a valid
+    engine name, wins over the programmatic value (including "auto",
+    which is then resolved by node count as usual).
+    """
+    override = os.environ.get("REPRO_ENGINE", "").strip().lower()
+    if override:
+        if override not in ENGINES:
+            raise ValueError(
+                f"REPRO_ENGINE={override!r} is not one of {ENGINES}"
+            )
+        engine = override
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+    if engine == "auto":
+        return "fast" if num_nodes <= threshold else "fluid"
+    return engine

@@ -22,7 +22,24 @@ __all__ = [
     "sojourn_times",
     "queue_length_series",
     "queue_depth_at_arrivals",
+    "poisson_arrivals",
+    "validate_queue_inputs",
 ]
+
+
+def validate_queue_inputs(arrivals: np.ndarray, services: np.ndarray) -> None:
+    """Check monotone arrivals / non-negative services.
+
+    The single shared home of the O(n) input validation: external call
+    paths run it once at their boundary; internal correct-by-construction
+    callers (cumsums of non-negative gaps, samples from non-negative
+    distributions) skip it with ``validate=False`` instead of paying the
+    temporaries on every hot call.
+    """
+    if arrivals.size and np.any(np.diff(arrivals) < 0):
+        raise ValueError("arrival_times must be non-decreasing")
+    if np.any(services < 0):
+        raise ValueError("service times must be non-negative")
 
 
 def simulate_fifo_queue(
@@ -64,10 +81,7 @@ def simulate_fifo_queue(
     if num_servers <= 0:
         raise ValueError(f"num_servers must be positive, got {num_servers!r}")
     if validate:
-        if arrivals.size and np.any(np.diff(arrivals) < 0):
-            raise ValueError("arrival_times must be non-decreasing")
-        if np.any(services < 0):
-            raise ValueError("service times must be non-negative")
+        validate_queue_inputs(arrivals, services)
 
     departures = np.empty_like(arrivals)
     if num_servers == 1:

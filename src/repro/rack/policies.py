@@ -79,6 +79,15 @@ class ZipfDestinations:
     def peers_of(self, client: int) -> Sequence[int]:
         return self._peers[client]
 
+    def cumulative_of(self, client: int) -> np.ndarray:
+        """Cumulative popularity over ``peers_of(client)``, for batched draws.
+
+        The vectorized fast path samples thousands of destinations with
+        one ``searchsorted`` against this array instead of one scalar
+        :meth:`sample` call per RPC.
+        """
+        return self._cumulative[client]
+
     def sample(
         self,
         client: int,

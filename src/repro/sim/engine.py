@@ -40,6 +40,7 @@ class Environment:
         "_now",
         "_queue",
         "_eid",
+        "_next_eid",
         "_active_process",
         "_sampler",
         "_call_pool",
@@ -49,6 +50,9 @@ class Environment:
         self._now = float(initial_time)
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._eid = count()
+        #: Bound ``__next__`` of the id counter — every event scheduled
+        #: pays this call, so skip the iterator-protocol dispatch.
+        self._next_eid = self._eid.__next__
         self._active_process: Optional[Process] = None
         self._sampler = None
         #: Recycled Callback events for :meth:`schedule_call`.
@@ -124,7 +128,7 @@ class Environment:
         event.fn = fn
         event.args = args
         heappush(
-            self._queue, (self._now + delay, _NORMAL, next(self._eid), event)
+            self._queue, (self._now + delay, _NORMAL, self._next_eid(), event)
         )
 
     def any_of(self, events: List[Event]) -> AnyOf:
@@ -140,7 +144,7 @@ class Environment:
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = _NORMAL) -> None:
         """Queue ``event`` to be processed ``delay`` units from now."""
         heappush(
-            self._queue, (self._now + delay, priority, next(self._eid), event)
+            self._queue, (self._now + delay, priority, self._next_eid(), event)
         )
 
     def peek(self) -> float:

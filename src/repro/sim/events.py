@@ -181,7 +181,7 @@ class Callback(Event):
     :class:`Event` by design.
     """
 
-    __slots__ = ("fn", "args", "_arm")
+    __slots__ = ("fn", "args", "_arm", "_pool_append")
 
     def __init__(self, env: "Environment") -> None:  # noqa: F821
         super().__init__(env)
@@ -192,6 +192,9 @@ class Callback(Event):
         self._value = None
         self.fn: Optional[Callable[..., Any]] = None
         self.args: tuple = ()
+        #: Bound pool append — one firing per delayed call makes the
+        #: env/attribute chain lookup measurable.
+        self._pool_append = env._call_pool.append
 
     def _fire(self, _event: Event) -> None:
         fn = self.fn
@@ -202,7 +205,7 @@ class Callback(Event):
         self.args = ()
         self.callbacks = self._arm
         self._processed = False
-        self.env._call_pool.append(self)
+        self._pool_append(self)
         fn(*args)
 
 
