@@ -38,6 +38,7 @@ class NIFrontend:
         dispatcher; see ``Dispatcher._dispatch_to``.
         """
         self.cqes_written += 1
+        msg.t_cqe = self.chip.env.now
         self.qp.post_cqe(msg)
 
     def propagate_replenish(self, msg: SendMessage) -> None:

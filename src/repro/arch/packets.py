@@ -35,6 +35,7 @@ class SendMessage:
         "t_arrival",
         "t_reassembled",
         "t_dispatch",
+        "t_cqe",
         "t_start",
         "t_replenish",
     )
@@ -97,6 +98,8 @@ class SendMessage:
         self.t_arrival: Optional[float] = None
         self.t_reassembled: Optional[float] = None
         self.t_dispatch: Optional[float] = None
+        #: CQE written into the assigned core's private CQ (frontend).
+        self.t_cqe: Optional[float] = None
         self.t_start: Optional[float] = None
         self.t_replenish: Optional[float] = None
         return self

@@ -50,12 +50,14 @@ SIM_MODULES: Tuple[str, ...] = (
     "core",
     "dists",
     "fastpath",
+    "faults",
     "metrics",
     "queueing",
     "rack",
     "sim",
     "store",
     "telemetry",
+    "tracing",
     "workloads",
 )
 

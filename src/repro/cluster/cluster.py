@@ -38,6 +38,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..faults import FaultInjector, FaultPlan, FaultStats, RetryConfig
     from ..rack import RackRouter, RouterStats
     from ..telemetry import TelemetrySnapshot
+    from ..tracing import TraceBuffer, TraceConfig
 
 __all__ = ["Cluster", "ClusterNode", "ClusterResult", "mesh_geometry"]
 
@@ -79,7 +80,15 @@ class _Rpc:
     live.
     """
 
-    __slots__ = ("service_ns", "label", "t_start", "resolved", "retries_used", "live")
+    __slots__ = (
+        "service_ns",
+        "label",
+        "t_start",
+        "resolved",
+        "retries_used",
+        "live",
+        "trace",
+    )
 
     def __init__(self, service_ns: float, label: str, t_start: float) -> None:
         self.service_ns = service_ns
@@ -89,6 +98,8 @@ class _Rpc:
         self.retries_used = 0
         #: Attempts issued and not yet concluded (completed or timed out).
         self.live = 0
+        #: Span record when this RPC was sampled (None otherwise).
+        self.trace = None
 
 
 class ClusterNode:
@@ -124,7 +135,10 @@ class ClusterNode:
             for dst in range(cluster.num_nodes)
             if dst != node_id
         }
-        self._pending: Dict[int, Deque[Tuple[int, float, str]]] = {}
+        self._pending: Dict[int, Deque[Tuple[int, float, str, object]]] = {}
+        #: Legacy-mode traced sends in flight, keyed by (dst, slot):
+        #: populated only for sampled RPCs, so it stays tiny.
+        self._trace_open: Dict[Tuple[int, int], tuple] = {}
         self.generated = 0
         self.stalled = 0
         self._next_msg_id = 0
@@ -157,8 +171,14 @@ class ClusterNode:
         workload = self.cluster.workload
         router = self.cluster.router
         speeds = self.cluster.speed_factors
+        tracer = self.cluster.tracer
         for _ in range(num_requests):
             yield env.timeout(arrival_rng.exponential(mean_gap_ns))
+            trace = None
+            if tracer is not None:
+                trace = tracer.maybe_trace(self.node_id, env.now)
+                if trace is not None and router is not None:
+                    router.trace_capture = trace
             if router is not None:
                 dst = router.choose(self.node_id, peer_rng)
             else:
@@ -169,16 +189,25 @@ class ClusterNode:
                 # time; slower nodes stretch it.
                 service_ns /= speeds[dst]
             self.generated += 1
+            if trace is not None:
+                trace.label = label
             free = self._free_slots[dst]
             if free:
-                self._send(dst, free.pop(), service_ns, label)
+                self._send(dst, free.pop(), service_ns, label, trace)
             else:
                 self.stalled += 1
                 self._pending.setdefault(dst, deque()).append(
-                    (dst, service_ns, label)
+                    (dst, service_ns, label, trace)
                 )
 
-    def _send(self, dst: int, slot: int, service_ns: float, label: str) -> None:
+    def _send(
+        self,
+        dst: int,
+        slot: int,
+        service_ns: float,
+        label: str,
+        trace=None,
+    ) -> None:
         cluster = self.cluster
         msg = make_send(
             cluster.config,
@@ -193,6 +222,12 @@ class ClusterNode:
         #: Record the true sender for replenish routing.
         cluster.sender_of[(dst, msg.src_node, msg.slot)] = self.node_id
         delay = cluster.fabric.latency_ns(self.node_id, dst)
+        if trace is not None:
+            # Legacy mode: one attempt per RPC, launched at generation
+            # time (credit_wait covers any stall in the pending queue).
+            span = trace.new_attempt("first", dst, trace.t_init)
+            span.t_sent = cluster.env.now
+            self._trace_open[(dst, slot)] = (trace, span)
         target_chip = cluster.nodes[dst].chip
         delayed_call(cluster.env, delay, target_chip.submit_message, msg)
 
@@ -208,23 +243,32 @@ class ClusterNode:
         workload = cluster.workload
         stats = cluster.injector.stats
         hedge_ns = cluster.retry.hedge_ns
+        tracer = cluster.tracer
         for _ in range(num_requests):
             yield env.timeout(arrival_rng.exponential(mean_gap_ns))
             service_ns, label = workload.sample(service_rng)
             rpc = _Rpc(service_ns, label, env.now)
+            if tracer is not None:
+                trace = tracer.maybe_trace(self.node_id, env.now)
+                if trace is not None:
+                    trace.label = label
+                    rpc.trace = trace
             self.generated += 1
             stats.offered += 1
             self._launch_attempt(rpc)
             if hedge_ns is not None:
                 env.schedule_call(hedge_ns, self._maybe_hedge, rpc)
 
-    def _launch_attempt(self, rpc: _Rpc) -> None:
+    def _launch_attempt(self, rpc: _Rpc, kind: str = "first") -> None:
         """Issue one physical attempt of ``rpc`` (first, retry, or hedge)."""
         cluster = self.cluster
         peer_rng = self._rngs.stream("peers")
         router = cluster.router
         injector = cluster.injector
+        trace = rpc.trace
         if router is not None:
+            if trace is not None:
+                router.trace_capture = trace
             dst = router.choose(self.node_id, peer_rng)
         else:
             peers = self._peer_ids
@@ -256,6 +300,12 @@ class ClusterNode:
             "server_done": False,
             #: True while this attempt holds a +1 in router.outstanding.
             "open": router is not None,
+            #: Span record when the logical RPC is traced (None otherwise).
+            "span": (
+                trace.new_attempt(kind, dst, cluster.env.now)
+                if trace is not None
+                else None
+            ),
         }
         self._attempts[msg_id] = attempt
         rpc.live += 1
@@ -286,11 +336,16 @@ class ClusterNode:
         #: slot cannot be credited to the wrong attempt.
         cluster.sender_of[(dst, msg.src_node, slot)] = (self.node_id, msg_id)
         delay = cluster.fabric.latency_ns(self.node_id, dst)
+        span = attempt["span"]
+        if span is not None:
+            span.t_sent = cluster.env.now
         fate = cluster.injector.transmit(
             delay, cluster._deliver_request, self.node_id, dst, msg, msg_id
         )
         if fate == "drop":
             attempt["vanished"] = True
+            if span is not None:
+                span.add_event("request_dropped", cluster.env.now)
 
     def _attempt_timeout(self, msg_id: int) -> None:
         attempt = self._attempts.get(msg_id)
@@ -302,6 +357,10 @@ class ClusterNode:
         attempt["cancelled"] = True
         stats.timeouts += 1
         rpc.live -= 1
+        span = attempt["span"]
+        if span is not None:
+            span.status = "timeout"
+            span.add_event("timeout", cluster.env.now)
         if attempt["open"]:
             attempt["open"] = False
             cluster.router.on_attempt_abandoned(attempt["dst"])
@@ -329,16 +388,18 @@ class ClusterNode:
             cluster.resolved_total += 1
             cluster.lost_total += 1
             stats.lost += 1
+            if rpc.trace is not None:
+                rpc.trace.finish(cluster.env.now, None, outcome="lost")
 
     def _retry_attempt(self, rpc: _Rpc) -> None:
         if not rpc.resolved:
-            self._launch_attempt(rpc)
+            self._launch_attempt(rpc, "retry")
 
     def _maybe_hedge(self, rpc: _Rpc) -> None:
         if rpc.resolved:
             return
         self.cluster.injector.stats.hedges += 1
-        self._launch_attempt(rpc)
+        self._launch_attempt(rpc, "hedge")
 
     def _reply_received(
         self, msg_id: int, server: int, reported_load: Optional[float]
@@ -355,8 +416,14 @@ class ClusterNode:
             stats.duplicate_completions += 1
             return
         rpc = attempt["rpc"]
+        now = cluster.env.now
+        span = attempt["span"]
+        if span is not None:
+            span.t_reply = now
         if attempt["cancelled"]:
             stats.late_completions += 1
+            if span is not None:
+                span.add_event("late_completion", now)
         else:
             rpc.live -= 1
         slot = attempt["slot"]
@@ -366,10 +433,16 @@ class ClusterNode:
             rpc.resolved = True
             cluster.resolved_total += 1
             stats.completed += 1
-            now = cluster.env.now
             cluster.e2e_recorder.record(now, now - rpc.t_start, rpc.label)
+            if rpc.trace is not None:
+                # The span's reply time *is* the recorded e2e endpoint,
+                # so the phase decomposition sums to the recorded value.
+                rpc.trace.finish(now, span)
         else:
             stats.duplicate_completions += 1
+            if span is not None:
+                span.status = "duplicate"
+                span.add_event("duplicate_completion", now)
 
     def _reclaim_attempt(self, msg_id: int, attempt: dict) -> None:
         """Return a dead attempt's send-slot credit (robust mode)."""
@@ -411,6 +484,15 @@ class ClusterNode:
         )
         delay = cluster.fabric.latency_ns(self.node_id, sender_id)
         sender = cluster.nodes[sender_id]
+        if cluster.tracer is not None:
+            entry = sender._trace_open.pop((self.node_id, msg.slot), None)
+            if entry is not None:
+                trace, span = entry
+                # Copy stamps now — the chip recycles ``msg`` right
+                # after this callback returns.
+                span.copy_server(msg)
+                span.t_reply = cluster.env.now + delay
+                trace.finish(cluster.env.now + delay, span)
         router = cluster.router
         if router is not None:
             # The completing server's load after this reply is what a
@@ -455,6 +537,12 @@ class ClusterNode:
                 done = cluster.nodes[marker[0]]._attempts.get(msg.msg_id)
                 if done is not None:
                     done["server_done"] = True
+                    span = done["span"]
+                    if span is not None:
+                        # Record the burned server work even though no
+                        # reply leaves (duplicate-service accounting).
+                        span.copy_server(msg)
+                        span.add_event("reply_suppressed", cluster.env.now)
             return
         entry = cluster.sender_of.get(key)
         if entry is None:
@@ -466,8 +554,13 @@ class ClusterNode:
         cluster.completed_total += 1
         sender = cluster.nodes[sender_id]
         attempt = sender._attempts.get(msg.msg_id)
+        span = attempt["span"] if attempt is not None else None
         if attempt is not None:
             attempt["server_done"] = True
+        if span is not None:
+            # Copy stamps before the chip recycles ``msg``; the reply
+            # itself may still be dropped or delayed below.
+            span.copy_server(msg)
         router = cluster.router
         reported: Optional[float] = None
         if router is not None:
@@ -485,6 +578,8 @@ class ClusterNode:
         )
         if fate == "drop" and attempt is not None:
             attempt["reply_lost"] = True
+            if span is not None:
+                span.add_event("reply_dropped", cluster.env.now)
             if attempt["cancelled"]:
                 # The timeout already gave up on this attempt; with the
                 # reply provably gone, reclaim the credit here.
@@ -493,8 +588,8 @@ class ClusterNode:
     def _slot_freed(self, dst: int, slot: int) -> None:
         pending = self._pending.get(dst)
         if pending:
-            _dst, service_ns, label = pending.popleft()
-            self._send(dst, slot, service_ns, label)
+            _dst, service_ns, label, trace = pending.popleft()
+            self._send(dst, slot, service_ns, label, trace)
         else:
             self._free_slots[dst].append(slot)
 
@@ -545,6 +640,9 @@ class ClusterResult:
     #: Per-node fraction of the run spent up.
     availability: Optional[List[float]] = None
     fault_stats: Optional["FaultStats"] = None
+    #: Sampled per-RPC span trees, when the cluster ran with
+    #: ``trace=TraceConfig(...)`` (see :mod:`repro.tracing`).
+    spans: Optional["TraceBuffer"] = None
 
     @property
     def p99_ns(self) -> float:
@@ -593,6 +691,7 @@ class Cluster:
         telemetry_interval_ns: Optional[float] = None,
         faults: Optional["FaultPlan"] = None,
         retry: Optional["RetryConfig"] = None,
+        trace: Optional["TraceConfig"] = None,
     ) -> None:
         if num_nodes < 2:
             raise ValueError(f"need at least 2 nodes, got {num_nodes!r}")
@@ -670,6 +769,14 @@ class Cluster:
             self.e2e_recorder = LatencyRecorder()
         else:
             self.fault_plan = None
+        #: Span tracer; None keeps every instrumented site a dead branch.
+        self.tracer = None
+        if trace is not None:
+            from ..tracing import Tracer
+
+            self.tracer = Tracer(trace)
+            if self.injector is not None:
+                self.injector.tracer = self.tracer
         self.nodes: List[ClusterNode] = [
             ClusterNode(self, node_id, scheme_factory())
             for node_id in range(num_nodes)
@@ -727,6 +834,9 @@ class Cluster:
             self.injector.stats.crash_drops += 1
             if attempt is not None:
                 attempt["vanished"] = True
+                span = attempt["span"]
+                if span is not None:
+                    span.add_event("crash_drop", self.env.now)
                 if attempt["cancelled"]:
                     # A delay spike pushed arrival past the client's
                     # timeout; reclaim the credit now that the message
@@ -849,4 +959,5 @@ class Cluster:
             goodput_mrps=goodput,
             availability=availability,
             fault_stats=fault_stats,
+            spans=self.tracer.buffer if self.tracer is not None else None,
         )

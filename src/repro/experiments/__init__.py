@@ -35,6 +35,7 @@ from .persistence import (
 from .rack import run_rack
 from .scale import run_scale
 from .sensitivity import run_sensitivity
+from .tails import run_tails
 
 __all__ = [
     "EXPERIMENTS",
@@ -67,6 +68,7 @@ __all__ = [
     "run_scale",
     "run_faults",
     "run_bursts",
+    "run_tails",
     "run_rss_spray",
     "run_outstanding_ablation",
     "run_policy_ablation",

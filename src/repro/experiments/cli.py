@@ -46,6 +46,7 @@ from .headline import run_headline
 from .rack import run_rack
 from .scale import run_scale
 from .sensitivity import run_sensitivity
+from .tails import run_tails
 
 __all__ = ["EXPERIMENTS", "ENGINE_AWARE", "main", "collect_sweeps"]
 
@@ -76,12 +77,15 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "ext-scale": run_scale,
     "ext-faults": run_faults,
     "ext-bursts": run_bursts,
+    "ext-tails": run_tails,
     "ablation-rss-spray": run_rss_spray,
 }
 
 #: Experiments whose driver accepts ``engine=`` (see
 #: :mod:`repro.fastpath`); everything else always runs the DES.
-ENGINE_AWARE = frozenset({"ext-rack", "ext-scale", "headline"})
+#: ``ext-tails`` is engine-aware only to *reject* non-DES tiers with a
+#: clear error — span tracing needs the discrete-event hot paths.
+ENGINE_AWARE = frozenset({"ext-rack", "ext-scale", "ext-tails", "headline"})
 
 
 def collect_sweeps(value) -> List[SweepResult]:

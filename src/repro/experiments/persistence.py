@@ -74,19 +74,23 @@ def build_manifest(
     experiment_id: str,
     config: Optional[dict] = None,
     elapsed_s: Optional[float] = None,
+    capture: Optional[dict] = None,
 ) -> dict:
     """Provenance record for one experiment run.
 
     ``config`` is the run configuration (profile, seed, workers, ...);
-    ``elapsed_s`` the run's wall-clock duration. Code identity (git
-    SHA), package versions, and platform are collected here — a
-    manifest answers "what exactly produced this snapshot?".
+    ``elapsed_s`` the run's wall-clock duration; ``capture`` accounts
+    for bounded-capture artifacts (e.g. ``max_messages`` and how many
+    messages the cap dropped) so a truncated trace is distinguishable
+    from a complete one. Code identity (git SHA), package versions,
+    and platform are collected here — a manifest answers "what exactly
+    produced this snapshot?".
     """
     import numpy
 
     from .. import __version__ as repro_version
 
-    return {
+    manifest = {
         "schema_version": _MANIFEST_SCHEMA_VERSION,
         "experiment_id": experiment_id,
         "config": dict(config or {}),
@@ -110,6 +114,9 @@ def build_manifest(
             "elapsed_s": elapsed_s,
         },
     }
+    if capture is not None:
+        manifest["capture"] = dict(capture)
+    return manifest
 
 
 def write_manifest(
@@ -117,12 +124,15 @@ def write_manifest(
     directory: Union[str, pathlib.Path],
     config: Optional[dict] = None,
     elapsed_s: Optional[float] = None,
+    capture: Optional[dict] = None,
 ) -> pathlib.Path:
     """Write ``<directory>/<experiment_id>.manifest.json``; returns the path."""
     directory = pathlib.Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"{experiment_id}.manifest.json"
-    manifest = build_manifest(experiment_id, config=config, elapsed_s=elapsed_s)
+    manifest = build_manifest(
+        experiment_id, config=config, elapsed_s=elapsed_s, capture=capture
+    )
     path.write_text(json.dumps(manifest, indent=2))
     return path
 

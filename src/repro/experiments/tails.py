@@ -1,0 +1,357 @@
+"""``ext-tails``: span-traced tail attribution — *why* is p99 what it is?
+
+Every other driver reports *that* the tail moved; this one explains
+*where the nanoseconds went*. Each scenario runs a 4-node rack with
+per-RPC span tracing enabled (:mod:`repro.tracing`), decomposes every
+sampled RPC's end-to-end latency into the nine :data:`repro.tracing.PHASES`,
+and attributes the p99 cohort's mean to phase groups:
+
+1. **policy ladder** — random vs JSQ(2) vs SED under a fresh load
+   signal: JSQ(2)'s p99 win over random is almost entirely a
+   ``dispatch_wait`` reduction (shared-CQ head-of-line blocking — the
+   phase RPCValet's NI-driven balancing attacks), not fabric or service
+   time;
+2. **signal staleness** — JSQ(2) on a periodic-broadcast signal:
+   stale estimates send RPCs to already-busy nodes, and the erosion
+   shows up in the same ``dispatch_wait`` phase the fresh signal
+   removed;
+3. **hedging under drops** — near saturation, a hedged client cuts
+   timeout stalls but pays in *duplicate service*: the attribution's
+   per-RPC duplicate-work column makes the saturation tax explicit.
+
+Tracing instruments the discrete-event hot paths, so this experiment is
+**DES-only**: ``engine="fast"``/``"fluid"``/``"auto"`` raise. Sampling
+is counter-based (no RNG draws) and buffers merge in task order, so
+reports are bit-identical at any ``--workers`` count.
+
+``python -m repro.experiments.tails --out DIR`` additionally writes the
+attribution report (JSON), a unified Perfetto file (span trees + counter
+tracks), and a run manifest — the artifact bundle CI uploads.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List, Optional, Tuple
+
+from ..metrics import format_table
+from ..runner import map_points, task_seed
+from .common import ExperimentResult, get_profile
+
+__all__ = ["run_tails", "main"]
+
+#: Rack size for every scenario (DES tier only — see the engine gate).
+NUM_NODES = 4
+
+#: Policy-ladder operating point: busy enough that queues form and the
+#: balancing policy matters, below the rack's HERD saturation.
+POLICY_MRPS = 24.0
+
+#: Staleness scenario: JSQ(2) fed by a periodic broadcast this stale.
+STALE_PERIOD_NS = 10_000.0
+
+#: Hedging scenario: near saturation with light fabric drops, hedge
+#: fires after ~p95 (mirrors ext-faults' high-load hedging point).
+HEDGE_MRPS = 27.0
+HEDGE_DROP = 0.02
+HEDGE_NS = 1_500.0
+
+#: Phase groups for the cross-scenario table: the nine PHASES collapse
+#: into six columns a reader can scan (grouped values still sum to e2e).
+PHASE_GROUPS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("client_wait", ("pre_launch", "credit_wait")),
+    ("fabric", ("req_fabric", "reply_fabric")),
+    ("ni", ("ni_pipeline", "cqe_delivery")),
+    ("dispatch_wait", ("dispatch_wait",)),
+    ("qp_wait", ("qp_wait",)),
+    ("service", ("service",)),
+)
+
+#: One scenario: (key, mrps, policy, signal, plan_kwargs, retry_kwargs,
+#: instrument) — kwargs as sorted tuples so tasks stay fingerprintable.
+_Scenario = Tuple[str, float, str, str, Tuple, Tuple, bool]
+
+
+def _scenarios() -> List[_Scenario]:
+    rows: List[_Scenario] = []
+    for policy in ("random", "jsq2", "sed"):
+        # jsq2 is the flagship scenario: it also captures telemetry so
+        # the artifact bundle's unified Perfetto file carries counter
+        # tracks alongside the span trees.
+        rows.append(
+            (f"policy/{policy}", POLICY_MRPS, policy, "fresh", (), (),
+             policy == "jsq2")
+        )
+    rows.append(
+        ("stale/jsq2", POLICY_MRPS, "jsq2",
+         f"broadcast:{STALE_PERIOD_NS:g}", (), (), False)
+    )
+    hedge_plan = (("drop_prob", HEDGE_DROP),)
+    for hedge in (None, HEDGE_NS):
+        suffix = "hedge" if hedge is not None else "plain"
+        rows.append(
+            (f"hedge/{suffix}", HEDGE_MRPS, "jsq2", "fresh", hedge_plan,
+             (("timeout_ns", 15_000.0), ("max_retries", 3),
+              ("backoff_ns", 2_000.0), ("hedge_ns", hedge)), False)
+        )
+    return rows
+
+
+def _run_tails_task(task) -> Dict[str, object]:
+    """One span-traced cluster run (pool-safe module function)."""
+    (key, mrps, policy, signal, plan_kwargs, retry_kwargs, instrument,
+     requests, seed) = task
+    from ..cluster import Cluster
+    from ..faults import FaultPlan, RetryConfig
+    from ..rack import RackRouter
+    from ..tracing import TraceConfig, attribute_tails, attribution_to_dict
+
+    cluster = Cluster(
+        num_nodes=NUM_NODES,
+        seed=seed,
+        router=RackRouter(policy, signal),
+        faults=FaultPlan(**dict(plan_kwargs)) if plan_kwargs else None,
+        retry=RetryConfig(**dict(retry_kwargs)) if retry_kwargs else None,
+        telemetry=instrument,
+        trace=TraceConfig(),
+    )
+    result = cluster.run(per_node_mrps=mrps, requests_per_node=requests)
+    report = attribute_tails(result.spans)
+    return {
+        "key": key,
+        "report": attribution_to_dict(report),
+        "spans": result.spans,
+        "srv_p99_ns": result.p99_ns,
+        "e2e_p99_ns": (
+            result.e2e.p99 if result.e2e is not None else float("nan")
+        ),
+        "lost": result.lost,
+        "telemetry": result.telemetry,
+    }
+
+
+def _grouped(phase_ns: Dict[str, float]) -> Dict[str, float]:
+    return {
+        group: sum(phase_ns[phase] for phase in phases)
+        for group, phases in PHASE_GROUPS
+    }
+
+
+def run_tails(
+    profile: str = "quick",
+    seed: int = 0,
+    workers: Optional[int] = None,
+    engine: str = "des",
+) -> ExperimentResult:
+    """Span-traced tail attribution across policies, staleness, hedging."""
+    from ..fastpath import resolve_engine
+
+    resolved = resolve_engine(engine, NUM_NODES)
+    if resolved != "des":
+        raise ValueError(
+            f"ext-tails requires engine='des' — span tracing instruments "
+            f"the discrete-event hot paths, which the {resolved!r} tier "
+            "does not execute (pass --engine des, or unset REPRO_ENGINE)"
+        )
+
+    prof = get_profile(profile)
+    requests = max(prof.arch_requests // 4, 800)
+    scenarios = _scenarios()
+    tasks = []
+    for key, mrps, policy, signal, plan, retry, instrument in scenarios:
+        tasks.append(
+            (key, mrps, policy, signal, plan, retry, instrument, requests,
+             task_seed("ext-tails", key, 0, seed))
+        )
+    outcome = map_points(
+        _run_tails_task,
+        tasks,
+        workers=workers,
+        labels=[task[0] for task in tasks],
+        progress_label="ext-tails",
+    )
+    by_key: Dict[str, Dict[str, object]] = {}
+    for task, row in zip(tasks, outcome.results):
+        if row is None:
+            raise RuntimeError(
+                f"tails scenario {task[0]!r} failed: {outcome.findings()}"
+            )
+        by_key[task[0]] = row
+
+    tables: List[str] = []
+    findings: List[str] = []
+    data: Dict[str, object] = {"scenarios": by_key}
+
+    # Cross-scenario p99-cohort decomposition: one row per scenario,
+    # phase groups as columns. Every row's groups sum to its cohort mean.
+    def cohort(key: str) -> dict:
+        return by_key[key]["report"]["cohorts"]["p99"]
+
+    rows = []
+    for key, *_ in scenarios:
+        c = cohort(key)
+        groups = _grouped(c["phase_ns"])
+        rows.append(
+            [key, c["threshold_ns"], c["mean_e2e_ns"]]
+            + [groups[group] for group, _ in PHASE_GROUPS]
+            + [c["duplicate_service_ns"], c["retries"] + c["hedges"]]
+        )
+    tables.append(
+        format_table(
+            ["scenario", "p99 (ns)", "cohort mean (ns)"]
+            + [f"{group} (ns)" for group, _ in PHASE_GROUPS]
+            + ["dup service (ns)", "extra attempts"],
+            rows,
+            title=(
+                f"p99-cohort phase attribution — {NUM_NODES} nodes, "
+                f"policy ladder at {POLICY_MRPS:g} MRPS/node, hedging at "
+                f"{HEDGE_MRPS:g} MRPS/node under {HEDGE_DROP:.0%} drops"
+            ),
+        )
+    )
+
+    # 1. Policy ladder: JSQ(2)'s win over random is dispatch_wait.
+    random_c, jsq2_c, sed_c = (
+        cohort("policy/random"), cohort("policy/jsq2"), cohort("policy/sed")
+    )
+    p99_win = random_c["threshold_ns"] / jsq2_c["threshold_ns"]
+    dw_random = random_c["phase_ns"]["dispatch_wait"]
+    dw_jsq2 = jsq2_c["phase_ns"]["dispatch_wait"]
+    data["policy_p99_win"] = p99_win
+    data["policy_dispatch_wait_cut_ns"] = dw_random - dw_jsq2
+    findings.append(
+        f"JSQ(2) beats random routing {p99_win:.2f}x at the p99: the "
+        f"cohort's dispatch_wait collapses {dw_random:,.0f} -> "
+        f"{dw_jsq2:,.0f} ns — the win is shared-CQ head-of-line wait, not "
+        "fabric or service time"
+    )
+    findings.append(
+        f"SED's p99 cohort spends {sed_c['phase_ns']['dispatch_wait']:,.0f} ns "
+        f"in dispatch_wait vs JSQ(2)'s {dw_jsq2:,.0f} ns — with homogeneous "
+        "nodes, expected-delay weighting adds nothing over queue depth"
+    )
+
+    # 2. Staleness: the same phase regrows under a stale signal.
+    stale_c = cohort("stale/jsq2")
+    stale_regrowth = stale_c["phase_ns"]["dispatch_wait"] - dw_jsq2
+    data["stale_dispatch_wait_regrowth_ns"] = stale_regrowth
+    findings.append(
+        f"a {STALE_PERIOD_NS / 1e3:g}µs-stale broadcast signal gives back "
+        f"{stale_regrowth:,.0f} ns of the dispatch_wait JSQ(2) removed "
+        f"(p99 {jsq2_c['threshold_ns']:,.0f} -> "
+        f"{stale_c['threshold_ns']:,.0f} ns): stale estimates route to "
+        "already-busy nodes"
+    )
+
+    # 3. Hedging: what the hedge buys (timeout stalls) and what it
+    # costs (duplicate server work), both per tail RPC.
+    plain_c, hedged_c = cohort("hedge/plain"), cohort("hedge/hedge")
+    plain_wait = _grouped(plain_c["phase_ns"])["client_wait"]
+    hedged_wait = _grouped(hedged_c["phase_ns"])["client_wait"]
+    data["hedge_dup_service_ns"] = hedged_c["duplicate_service_ns"]
+    findings.append(
+        f"hedging trades timeout stalls for duplicate work under "
+        f"{HEDGE_DROP:.0%} drops: the un-hedged p99 cohort idles "
+        f"{plain_wait:,.0f} ns client-side (timeout + retry backoff) vs "
+        f"{hedged_wait:,.0f} ns hedged, moving p99 "
+        f"{plain_c['threshold_ns']:,.0f} -> {hedged_c['threshold_ns']:,.0f} "
+        f"ns while burning {hedged_c['duplicate_service_ns']:,.0f} ns of "
+        f"duplicate server work per tail RPC "
+        f"({hedged_c['hedges']:.2f} hedges/RPC)"
+    )
+
+    # Exemplar: the flagship scenario's slowest p99-cohort RPC, span by
+    # span — "show me one" for the numbers above.
+    exemplar_lines = jsq2_c["exemplar"] or []
+    tables.append(
+        "p99 exemplar (policy/jsq2):\n  "
+        + "\n  ".join(exemplar_lines)
+    )
+
+    data["telemetry"] = by_key["policy/jsq2"]["telemetry"]
+    return ExperimentResult(
+        "ext-tails",
+        "Tail attribution: span-traced phase decomposition of p99",
+        data=data,
+        tables=tables,
+        findings=findings,
+    )
+
+
+def main(argv=None) -> int:
+    """Run ext-tails and write the artifact bundle (report/trace/manifest)."""
+    import argparse
+    import json
+    import pathlib
+    import time
+
+    parser = argparse.ArgumentParser(
+        prog="repro-tails",
+        description=(
+            "Span-traced tail attribution; writes the attribution report, "
+            "a unified Perfetto span trace, and a run manifest."
+        ),
+    )
+    parser.add_argument(
+        "--out", default="tails", metavar="DIR", help="output directory"
+    )
+    parser.add_argument("--profile", default="quick", help="request profile")
+    parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes (results identical at any count)",
+    )
+    args = parser.parse_args(argv)
+
+    started = time.time()
+    result = run_tails(
+        profile=args.profile, seed=args.seed, workers=args.workers
+    )
+    print(result.table())
+
+    directory = pathlib.Path(args.out)
+    directory.mkdir(parents=True, exist_ok=True)
+    scenarios = result.data["scenarios"]
+
+    report_path = directory / "tails.attribution.json"
+    report_path.write_text(
+        json.dumps(
+            {key: row["report"] for key, row in scenarios.items()}, indent=2
+        )
+    )
+    print(f"[wrote {report_path}]")
+
+    from ..telemetry import export_unified_trace
+
+    flagship = scenarios["policy/jsq2"]
+    trace_path = directory / "tails.spans.trace.json"
+    events = export_unified_trace(
+        trace_path, spans=flagship["spans"], telemetry=flagship["telemetry"]
+    )
+    print(f"[wrote {trace_path} ({events} events) — open at ui.perfetto.dev]")
+
+    from .persistence import build_manifest
+
+    buffer = flagship["spans"]
+    manifest = build_manifest(
+        "ext-tails",
+        config={
+            "profile": args.profile,
+            "seed": args.seed,
+            "workers": args.workers,
+        },
+        elapsed_s=time.time() - started,
+        capture={
+            "offered_rpcs": buffer.offered,
+            "sampled_traces": buffer.sampled,
+            "dropped_traces": buffer.dropped,
+        },
+    )
+    manifest_path = directory / "tails.manifest.json"
+    manifest_path.write_text(json.dumps(manifest, indent=2))
+    print(f"[manifest {manifest_path}]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -4,13 +4,15 @@
 HERD load point on the 1×16 (RPCValet-style) configuration with message
 capture and telemetry enabled, then writes three artifacts:
 
-* ``rpcvalet.trace.json`` — Trace Event Format; load it at
-  https://ui.perfetto.dev to see per-RPC bars on NI/dispatcher/core
-  tracks with queue-depth counter tracks underneath;
+* ``rpcvalet.trace.json`` — Trace Event Format, emitted through the
+  unified exporter (:func:`repro.telemetry.export_unified_trace`) so
+  per-RPC bars on NI/dispatcher/core tracks and queue-depth counter
+  tracks land in one file; load it at https://ui.perfetto.dev;
 * ``rpcvalet.telemetry.jsonl`` — the merged telemetry snapshot, one
   JSON object per counter/gauge/histogram/series;
 * ``rpcvalet.manifest.json`` — run provenance (config, git SHA,
-  versions, wall-clock).
+  versions, wall-clock), including a ``capture`` section that records
+  how many messages the ``max_messages`` cap kept vs dropped.
 
 The point runs at ~70% of nominal capacity so queues visibly build and
 drain without saturating.
@@ -25,8 +27,7 @@ import sys
 import time
 
 from ..core import make_system
-from ..metrics import export_chrome_trace
-from ..telemetry import write_snapshot_jsonl
+from ..telemetry import export_unified_trace, write_snapshot_jsonl
 
 __all__ = ["produce_trace", "main"]
 
@@ -81,8 +82,8 @@ def produce_trace(
         )
 
     trace_path = directory / "rpcvalet.trace.json"
-    events = export_chrome_trace(
-        result.messages, trace_path, telemetry=result.telemetry
+    events = export_unified_trace(
+        trace_path, messages=result.messages, telemetry=result.telemetry
     )
     telemetry_path = directory / "rpcvalet.telemetry.jsonl"
     write_snapshot_jsonl(result.telemetry, telemetry_path)
@@ -100,6 +101,11 @@ def produce_trace(
             "seed": seed,
         },
         elapsed_s=time.time() - started,
+        capture={
+            "max_messages": max_messages,
+            "kept_messages": len(result.messages),
+            "dropped_messages": result.dropped_messages,
+        },
     )
     manifest_path = directory / "rpcvalet.manifest.json"
     manifest_path.write_text(json.dumps(manifest, indent=2))

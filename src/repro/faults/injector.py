@@ -61,6 +61,10 @@ class FaultInjector:
         #: Listeners called with the node id on ground-truth recovery
         #: (the cluster reclaims leaked send slots here).
         self.on_recovery: List[Callable[[int], None]] = []
+        #: Span tracer (``repro.tracing.Tracer``) recording the fault
+        #: timeline, installed by the cluster when tracing is enabled.
+        #: None = disabled; handlers pay one ``is not None`` check.
+        self.tracer = None
         self._fabric_rng = (
             cluster.rngs.stream("faults.fabric")
             if plan.has_fabric_noise or any(
@@ -118,6 +122,8 @@ class FaultInjector:
         self._up[node] = False
         self.crashed_at[node] = self.cluster.env.now
         self.stats.crashes += 1
+        if self.tracer is not None:
+            self.tracer.record_fault("crash", node, self.cluster.env.now)
 
     def _recover(self, node: int) -> None:
         if self._up[node]:
@@ -128,6 +134,8 @@ class FaultInjector:
             self._down_ns[node] += self.cluster.env.now - went_down
         self.crashed_at[node] = None
         self.stats.recoveries += 1
+        if self.tracer is not None:
+            self.tracer.record_fault("recover", node, self.cluster.env.now)
         for listener in self.on_recovery:
             listener(node)
 
@@ -135,21 +143,35 @@ class FaultInjector:
         # Overlapping windows compound (two 0.5x windows -> 0.25x).
         self._speed[node] *= factor
         self.stats.slowdowns += 1
+        if self.tracer is not None:
+            self.tracer.record_fault("slowdown", node, self.cluster.env.now)
 
     def _unslow(self, node: int) -> None:
         self._speed[node] = 1.0
+        if self.tracer is not None:
+            self.tracer.record_fault("slowdown_end", node, self.cluster.env.now)
 
     def _degrade_start(self, window: FabricDegradation) -> None:
         self._active_degradations.append(window)
+        if self.tracer is not None:
+            self.tracer.record_fault("degradation", -1, self.cluster.env.now)
 
     def _degrade_end(self, window: FabricDegradation) -> None:
         self._active_degradations.remove(window)
+        if self.tracer is not None:
+            self.tracer.record_fault(
+                "degradation_end", -1, self.cluster.env.now
+            )
 
     def _blackout_start(self) -> None:
         self._blackouts += 1
+        if self.tracer is not None:
+            self.tracer.record_fault("blackout", -1, self.cluster.env.now)
 
     def _blackout_end(self) -> None:
         self._blackouts -= 1
+        if self.tracer is not None:
+            self.tracer.record_fault("blackout_end", -1, self.cluster.env.now)
 
     # -- state queries -------------------------------------------------------
 

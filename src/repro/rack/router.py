@@ -123,6 +123,12 @@ class RackRouter:
         self.decision_counters: Optional[List] = None
         self.staleness_hist = None
         self.detection_hist = None
+        #: One-shot span-tracing hook: a traced client sets this to its
+        #: :class:`repro.tracing.RpcTrace` just before :meth:`choose`;
+        #: the decision detail is recorded on the trace and the hook
+        #: cleared. None (the overwhelmingly common case) costs one
+        #: ``is not None`` check per decision.
+        self.trace_capture = None
 
     # -- wiring -----------------------------------------------------------
 
@@ -240,6 +246,18 @@ class RackRouter:
         dst = self.policy.choose(
             client, self.destinations, estimates, self.capacities, rng
         )
+        capture = self.trace_capture
+        if capture is not None:
+            self.trace_capture = None
+            capture.note_decision(
+                policy=self.policy.label,
+                signal=self.signal.label,
+                dst=dst,
+                estimate=float(estimates[dst]),
+                outstanding=self.outstanding[dst],
+                candidates=len(candidates),
+                suspected=len(suspected),
+            )
         if self.policy.uses_load_signal:
             error = abs(estimates[dst] - self.outstanding[dst])
             self.stats.signal_error_sum += error

@@ -26,6 +26,7 @@ Quickstart::
 
 from .hub import PeriodicSampler, TelemetryHub, TelemetrySnapshot, merge_snapshots
 from .export import (
+    export_unified_trace,
     series_csv,
     snapshot_jsonl_lines,
     write_series_csv,
@@ -58,4 +59,5 @@ __all__ = [
     "write_snapshot_jsonl",
     "series_csv",
     "write_series_csv",
+    "export_unified_trace",
 ]

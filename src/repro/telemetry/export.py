@@ -1,26 +1,36 @@
-"""Exporting telemetry snapshots: JSONL and CSV time series.
+"""Exporting telemetry snapshots: JSONL, CSV, and unified Perfetto traces.
 
-Two plain-text formats for external tooling (pandas, jq, spreadsheets):
+Plain-text formats for external tooling (pandas, jq, spreadsheets):
 
 * :func:`write_snapshot_jsonl` — one JSON object per line, one line per
   counter/gauge/histogram/series; self-describing via a ``kind`` field;
 * :func:`series_csv` / :func:`write_series_csv` — long-format
   ``series,time,value`` rows of every sampled time series.
 
-The Perfetto exporter lives with the rest of the trace tooling in
-:mod:`repro.metrics.chrometrace` (counter tracks render alongside the
-per-RPC bars there).
+Plus the one-stop Perfetto exporter, :func:`export_unified_trace`: it
+combines every trace-shaped artifact the repo produces — per-message
+stage bars (:func:`repro.metrics.chrome_trace_events`), per-RPC span
+trees (:func:`repro.tracing.span_trace_events`), and telemetry counter
+tracks — into a single Trace Event Format file, so queue-depth charts,
+NI/dispatcher/core bars, and client-side span trees line up on one
+timeline at https://ui.perfetto.dev.
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
-from typing import IO, Iterator, Union
+from typing import IO, Iterator, Optional, Sequence, Union
 
 from .hub import TelemetrySnapshot
 
-__all__ = ["snapshot_jsonl_lines", "write_snapshot_jsonl", "series_csv", "write_series_csv"]
+__all__ = [
+    "snapshot_jsonl_lines",
+    "write_snapshot_jsonl",
+    "series_csv",
+    "write_series_csv",
+    "export_unified_trace",
+]
 
 
 def snapshot_jsonl_lines(snapshot: TelemetrySnapshot) -> Iterator[str]:
@@ -112,3 +122,39 @@ def write_series_csv(
     else:
         pathlib.Path(destination).write_text(text, encoding="utf-8")
     return text.count("\n") - 1
+
+
+def export_unified_trace(
+    destination: Union[str, pathlib.Path, IO[str]],
+    messages: Sequence = (),
+    spans=None,
+    telemetry: Optional[TelemetrySnapshot] = None,
+) -> int:
+    """One Perfetto file: message bars + span trees + counter tracks.
+
+    ``messages`` are completed :class:`repro.arch.SendMessage` records
+    (per-RPC bars on NI/dispatcher/core tracks), ``spans`` a
+    :class:`repro.tracing.TraceBuffer` (or iterable of traces), and
+    ``telemetry`` a snapshot whose time series become counter tracks.
+    Any subset may be given; returns the total event count.
+    """
+    events = []
+    if messages:
+        from ..metrics.chrometrace import chrome_trace_events
+
+        events.extend(chrome_trace_events(messages))
+    if spans is not None:
+        from ..tracing.export import span_trace_events
+
+        events.extend(span_trace_events(spans))
+    if telemetry is not None:
+        from ..metrics.chrometrace import telemetry_counter_events
+
+        events.extend(telemetry_counter_events(telemetry))
+    payload = {"traceEvents": events, "displayTimeUnit": "ns"}
+    if hasattr(destination, "write"):
+        json.dump(payload, destination)
+    else:
+        with open(destination, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+    return len(events)

@@ -1,0 +1,235 @@
+"""Tail attribution: *why* is p99 what it is?
+
+Selects latency cohorts (all completed traces at or above a quantile
+threshold) and decomposes each cohort's mean end-to-end latency into
+the :data:`~repro.tracing.spans.PHASES` components, plus the retry /
+hedge / duplicate-service overheads only a per-RPC record can expose.
+Every completed trace is conservation-checked on the way in: its phase
+components must sum to its recorded e2e latency (up to float addition
+order), or :func:`attribute_tails` raises — a wrong decomposition is
+worse than none.
+
+The cohort *means* answer "where does tail latency come from"; the
+per-cohort exemplar (the slowest trace in the cohort, deterministic
+tie-break) answers "show me one" — :func:`render_exemplar` dumps its
+span tree as text.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .spans import PHASES, RpcTrace, TraceBuffer
+
+__all__ = [
+    "CohortReport",
+    "AttributionReport",
+    "attribute_tails",
+    "attribution_to_dict",
+    "render_exemplar",
+]
+
+#: Conservation tolerance: phase sums are telescoping float differences
+#: re-added in order, so they match e2e to within addition rounding.
+_REL_TOL = 1e-9
+_ABS_TOL_NS = 1e-6
+
+
+def _quantile_key(quantile: float) -> str:
+    return "p" + f"{quantile * 100:g}".replace(".", "")
+
+
+@dataclass
+class CohortReport:
+    """One quantile cohort's phase decomposition."""
+
+    quantile: float
+    #: Cohort membership threshold (an actual sample value).
+    threshold_ns: float
+    count: int
+    mean_e2e_ns: float
+    #: Cohort-mean nanoseconds spent in each phase (sums to mean_e2e_ns).
+    phase_ns: Dict[str, float]
+    #: Same, as fractions of the cohort mean.
+    phase_fraction: Dict[str, float]
+    #: Cohort-mean server work burned by non-winning attempts.
+    duplicate_service_ns: float
+    #: Cohort-mean retry / hedge attempts per RPC.
+    retries: float
+    hedges: float
+    #: The slowest trace in the cohort (deterministic tie-break).
+    exemplar: Optional[RpcTrace] = None
+
+
+@dataclass
+class AttributionReport:
+    """Phase attribution of one traced run, across quantile cohorts."""
+
+    total_traces: int
+    completed: int
+    lost: int
+    #: Keyed ``"p50"`` / ``"p99"`` / ``"p999"`` (from the quantiles asked).
+    cohorts: Dict[str, CohortReport] = field(default_factory=dict)
+
+    def cohort(self, key: str) -> CohortReport:
+        return self.cohorts[key]
+
+
+def _conserved(trace: RpcTrace, phases: Dict[str, float]) -> bool:
+    return math.isclose(
+        sum(phases.values()),
+        trace.e2e_ns,
+        rel_tol=_REL_TOL,
+        abs_tol=_ABS_TOL_NS,
+    )
+
+
+def attribute_tails(
+    source: Union[TraceBuffer, Iterable[RpcTrace]],
+    quantiles: Sequence[float] = (0.50, 0.99, 0.999),
+) -> AttributionReport:
+    """Build the per-cohort phase attribution of one traced run.
+
+    Raises ``ValueError`` if any completed trace's phase components do
+    not sum to its end-to-end latency (conservation), or if no trace
+    completed at all.
+    """
+    if isinstance(source, TraceBuffer):
+        traces = source.traces
+    else:
+        traces = list(source)
+    completed: List[Tuple[RpcTrace, Dict[str, float]]] = []
+    lost = 0
+    for trace in traces:
+        if trace.outcome == "lost":
+            lost += 1
+            continue
+        phases = trace.phases()
+        if phases is None:
+            continue
+        if not _conserved(trace, phases):
+            raise ValueError(
+                f"span conservation violated for rpc "
+                f"{trace.client}:{trace.index}: phases sum to "
+                f"{sum(phases.values())!r} but e2e is {trace.e2e_ns!r}"
+            )
+        completed.append((trace, phases))
+    if not completed:
+        raise ValueError("no completed traces to attribute")
+
+    e2e = np.array([trace.e2e_ns for trace, _ in completed])
+    report = AttributionReport(
+        total_traces=len(traces), completed=len(completed), lost=lost
+    )
+    for quantile in quantiles:
+        if not 0.0 <= quantile < 1.0:
+            raise ValueError(f"quantile must be in [0, 1), got {quantile!r}")
+        # method="higher" picks an actual sample, so the >= cohort is
+        # never empty and the threshold is attributable to one RPC.
+        threshold = float(np.quantile(e2e, quantile, method="higher"))
+        cohort = [
+            (trace, phases)
+            for trace, phases in completed
+            if trace.e2e_ns >= threshold
+        ]
+        count = len(cohort)
+        phase_ns = {
+            phase: sum(phases[phase] for _, phases in cohort) / count
+            for phase in PHASES
+        }
+        mean_e2e = sum(trace.e2e_ns for trace, _ in cohort) / count
+        exemplar = max(
+            (trace for trace, _ in cohort),
+            key=lambda trace: (trace.e2e_ns, -trace.client, -trace.index),
+        )
+        report.cohorts[_quantile_key(quantile)] = CohortReport(
+            quantile=quantile,
+            threshold_ns=threshold,
+            count=count,
+            mean_e2e_ns=mean_e2e,
+            phase_ns=phase_ns,
+            phase_fraction={
+                phase: value / mean_e2e if mean_e2e > 0 else 0.0
+                for phase, value in phase_ns.items()
+            },
+            duplicate_service_ns=(
+                sum(trace.duplicate_service_ns() for trace, _ in cohort) / count
+            ),
+            retries=sum(trace.retries() for trace, _ in cohort) / count,
+            hedges=sum(trace.hedges() for trace, _ in cohort) / count,
+            exemplar=exemplar,
+        )
+    return report
+
+
+def attribution_to_dict(report: AttributionReport) -> dict:
+    """JSON-ready form of a report (exemplars become span dumps)."""
+    return {
+        "total_traces": report.total_traces,
+        "completed": report.completed,
+        "lost": report.lost,
+        "cohorts": {
+            key: {
+                "quantile": cohort.quantile,
+                "threshold_ns": cohort.threshold_ns,
+                "count": cohort.count,
+                "mean_e2e_ns": cohort.mean_e2e_ns,
+                "phase_ns": dict(cohort.phase_ns),
+                "phase_fraction": dict(cohort.phase_fraction),
+                "duplicate_service_ns": cohort.duplicate_service_ns,
+                "retries": cohort.retries,
+                "hedges": cohort.hedges,
+                "exemplar": (
+                    None
+                    if cohort.exemplar is None
+                    else render_exemplar(cohort.exemplar).splitlines()
+                ),
+            }
+            for key, cohort in report.cohorts.items()
+        },
+    }
+
+
+def _fmt_ns(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:,.0f}"
+
+
+def render_exemplar(trace: RpcTrace) -> str:
+    """Text dump of one trace's span tree (for reports and debugging)."""
+    lines = [
+        f"rpc {trace.client}:{trace.index} ({trace.label}) — "
+        f"{trace.outcome}"
+        + (
+            f", e2e {trace.e2e_ns:,.0f} ns"
+            if trace.t_end is not None
+            else ""
+        )
+    ]
+    phases = trace.phases()
+    if phases is not None:
+        parts = ", ".join(
+            f"{phase} {value:,.0f}" for phase, value in phases.items() if value > 0
+        )
+        lines.append(f"  phases (ns): {parts}")
+    for position, span in enumerate(trace.attempts):
+        marker = "*" if position == trace.winner else " "
+        lines.append(
+            f"  {marker}attempt[{position}] {span.kind} -> node{span.dst} "
+            f"({span.status}) launch={_fmt_ns(span.t_launch)} "
+            f"sent={_fmt_ns(span.t_sent)} arrive={_fmt_ns(span.t_arrival)} "
+            f"dispatch={_fmt_ns(span.t_dispatch)} start={_fmt_ns(span.t_start)} "
+            f"done={_fmt_ns(span.t_replenish)} reply={_fmt_ns(span.t_reply)}"
+            + (f" core={span.core_id}" if span.core_id >= 0 else "")
+        )
+        if span.decision is not None:
+            detail = ", ".join(
+                f"{key}={value}" for key, value in sorted(span.decision.items())
+            )
+            lines.append(f"    decision: {detail}")
+        for name, t_ns in span.events:
+            lines.append(f"    event: {name} at {t_ns:,.0f} ns")
+    return "\n".join(lines)
