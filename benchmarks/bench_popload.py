@@ -1,0 +1,19 @@
+"""Population-driven load bench: ext-diurnal (popload subsystem)."""
+
+from conftest import run_once
+
+from repro.experiments import run_diurnal
+
+
+def test_diurnal(benchmark, profile, emit):
+    result = run_once(benchmark, run_diurnal, profile=profile, seed=0)
+    emit(result)
+    capacity = result.data["capacity"]
+    for scheme in ("1x16", "16x1"):
+        constant = capacity[scheme]["constant"]
+        # Equal-average shaped load costs both policies real SLO
+        # capacity — the peak, not the mean, sets provisioning.
+        assert capacity[scheme]["diurnal"] < 0.8 * constant, scheme
+        assert capacity[scheme]["flash"] < 0.8 * constant, scheme
+    # Under constant load the NI-driven single queue keeps its edge.
+    assert capacity["1x16"]["constant"] > capacity["16x1"]["constant"]

@@ -52,6 +52,7 @@ SIM_MODULES: Tuple[str, ...] = (
     "fastpath",
     "faults",
     "metrics",
+    "popload",
     "queueing",
     "rack",
     "sim",

@@ -36,6 +36,7 @@ from .fabric import Fabric, UniformFabric
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..faults import FaultInjector, FaultPlan, FaultStats, RetryConfig
+    from ..popload.arrivals import ArrivalProcess
     from ..rack import RackRouter, RouterStats
     from ..telemetry import TelemetrySnapshot
     from ..tracing import TraceBuffer, TraceConfig
@@ -172,8 +173,21 @@ class ClusterNode:
         router = self.cluster.router
         speeds = self.cluster.speed_factors
         tracer = self.cluster.tracer
-        for _ in range(num_requests):
-            yield env.timeout(arrival_rng.exponential(mean_gap_ns))
+        # Population-driven load: pre-draw this node's whole gap batch
+        # from the process; None keeps the historical per-request
+        # scalar draws (byte-identical stream consumption).
+        process = self.cluster.arrival_process
+        gaps = (
+            process.sample_gaps(arrival_rng, num_requests)
+            if process is not None
+            else None
+        )
+        for index in range(num_requests):
+            yield env.timeout(
+                float(gaps[index])
+                if gaps is not None
+                else arrival_rng.exponential(mean_gap_ns)
+            )
             trace = None
             if tracer is not None:
                 trace = tracer.maybe_trace(self.node_id, env.now)
@@ -244,8 +258,18 @@ class ClusterNode:
         stats = cluster.injector.stats
         hedge_ns = cluster.retry.hedge_ns
         tracer = cluster.tracer
-        for _ in range(num_requests):
-            yield env.timeout(arrival_rng.exponential(mean_gap_ns))
+        process = cluster.arrival_process
+        gaps = (
+            process.sample_gaps(arrival_rng, num_requests)
+            if process is not None
+            else None
+        )
+        for index in range(num_requests):
+            yield env.timeout(
+                float(gaps[index])
+                if gaps is not None
+                else arrival_rng.exponential(mean_gap_ns)
+            )
             service_ns, label = workload.sample(service_rng)
             rpc = _Rpc(service_ns, label, env.now)
             if tracer is not None:
@@ -692,11 +716,25 @@ class Cluster:
         faults: Optional["FaultPlan"] = None,
         retry: Optional["RetryConfig"] = None,
         trace: Optional["TraceConfig"] = None,
+        arrival_process: Optional["ArrivalProcess"] = None,
     ) -> None:
         if num_nodes < 2:
             raise ValueError(f"need at least 2 nodes, got {num_nodes!r}")
         from ..workloads import HerdWorkload
 
+        if arrival_process is not None:
+            from ..popload.arrivals import ArrivalProcess as _ArrivalProcess
+
+            if not isinstance(arrival_process, _ArrivalProcess):
+                raise TypeError(
+                    "arrival_process must be a repro.popload "
+                    f"ArrivalProcess, got {type(arrival_process).__name__}"
+                )
+        #: Optional :mod:`repro.popload` arrival stream, applied at every
+        #: node (each node consumes its own named "arrivals" RNG stream,
+        #: so realizations stay independent). None keeps the historical
+        #: per-node stationary Poisson, byte-identical.
+        self.arrival_process = arrival_process
         self.num_nodes = num_nodes
         self.workload = workload if workload is not None else HerdWorkload()
         self.costs = costs if costs is not None else MicrobenchCosts.lean()

@@ -41,15 +41,23 @@ def make_scheme(name: str) -> BalancingScheme:
 
 
 def make_workload(name: str) -> RpcWorkload:
-    """Build a workload: 'herd', 'masstree', or 'synthetic-<kind>'."""
+    """Build a workload: 'herd', 'masstree', 'synthetic-<kind>', or an
+    empirical CSV-CDF preset ('websearch', 'datamining')."""
     if name == "herd":
         return HerdWorkload()
     if name == "masstree":
         return MasstreeWorkload()
     if name.startswith("synthetic-"):
         return SyntheticWorkload(name.split("-", 1)[1])
+    if name in ("websearch", "datamining"):
+        from ..dists import datamining, websearch
+        from ..workloads import DistributionWorkload
+
+        dist = websearch() if name == "websearch" else datamining()
+        return DistributionWorkload(dist, name=name)
     raise ValueError(
-        f"unknown workload {name!r}; expected 'herd', 'masstree', or 'synthetic-<kind>'"
+        f"unknown workload {name!r}; expected 'herd', 'masstree', "
+        "'synthetic-<kind>', 'websearch', or 'datamining'"
     )
 
 

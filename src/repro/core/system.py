@@ -29,7 +29,14 @@ from ..balancing import BalancingScheme
 from ..metrics import SweepPoint, SweepResult
 from ..runner import map_points, spawn_point_seeds
 from ..sim import Environment, RngRegistry
-from ..telemetry import TelemetryHub, TelemetrySnapshot, instrument_chip, merge_snapshots
+from ..popload.arrivals import ArrivalProcess
+from ..telemetry import (
+    TelemetryHub,
+    TelemetrySnapshot,
+    instrument_chip,
+    instrument_traffic,
+    merge_snapshots,
+)
 from ..workloads import (
     MicrobenchCosts,
     MicrobenchProgram,
@@ -117,6 +124,7 @@ class RpcValetSystem:
         slot_policy: str = "static",
         pool_size: Optional[int] = None,
         source_skew: float = 0.0,
+        arrival_process: Optional[ArrivalProcess] = None,
         interference=None,
         telemetry: bool = False,
         telemetry_interval_ns: Optional[float] = None,
@@ -137,6 +145,12 @@ class RpcValetSystem:
         self.pool_size = pool_size
         #: Zipf-like exponent over sender ranks (0 = paper's uniform).
         self.source_skew = source_skew
+        #: Optional :mod:`repro.popload` arrival process. None keeps the
+        #: paper's stationary Poisson at each run_point's offered rate
+        #: (byte-identical to the historical stream); a process makes
+        #: ``offered_mrps`` the point's nominal label while the process
+        #: dictates the actual arrival timing.
+        self.arrival_process = arrival_process
         #: Optional §3.2 interference injection (see repro.arch.interference).
         self.interference = interference
         #: When True, every run_point instruments the chip with a
@@ -234,7 +248,12 @@ class RpcValetSystem:
             slot_policy=self.slot_policy,
             pool_size=self.pool_size,
             source_skew=self.source_skew,
+            arrival_process=self.arrival_process,
         )
+        if hub is not None:
+            # Offered-rate time-series track; the hub's sampler reads
+            # its probe list by reference, so late registration samples.
+            instrument_traffic(traffic, hub)
         chip.env.run()
 
         recorder = chip.recorder

@@ -16,6 +16,7 @@ from .catalog import (
     masstree_scan,
     synthetic,
 )
+from .cdf import CdfDistribution, datamining, dist_from_file, websearch
 from .empirical import Empirical, HistogramDistribution
 from .mixture import Mixture
 from .parametric import Gamma, LogNormal, Pareto, Weibull
@@ -36,6 +37,10 @@ __all__ = [
     "Mixture",
     "Empirical",
     "HistogramDistribution",
+    "CdfDistribution",
+    "dist_from_file",
+    "websearch",
+    "datamining",
     "synthetic",
     "herd",
     "masstree",

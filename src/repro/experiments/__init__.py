@@ -10,6 +10,7 @@ from .ablations import (
 )
 from .cli import EXPERIMENTS, main
 from .common import ExperimentResult, PROFILES, Profile, load_grid
+from .diurnal import run_diurnal
 from .extensions import (
     run_bursts,
     run_cluster,
@@ -69,6 +70,7 @@ __all__ = [
     "run_faults",
     "run_bursts",
     "run_tails",
+    "run_diurnal",
     "run_rss_spray",
     "run_outstanding_ablation",
     "run_policy_ablation",

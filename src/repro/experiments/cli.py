@@ -27,6 +27,7 @@ from .ablations import (
     run_straggler_ablation,
 )
 from .common import ExperimentResult, PROFILES
+from .diurnal import run_diurnal
 from .extensions import (
     run_bursts,
     run_cluster,
@@ -78,14 +79,18 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "ext-faults": run_faults,
     "ext-bursts": run_bursts,
     "ext-tails": run_tails,
+    "ext-diurnal": run_diurnal,
     "ablation-rss-spray": run_rss_spray,
 }
 
 #: Experiments whose driver accepts ``engine=`` (see
 #: :mod:`repro.fastpath`); everything else always runs the DES.
-#: ``ext-tails`` is engine-aware only to *reject* non-DES tiers with a
-#: clear error — span tracing needs the discrete-event hot paths.
-ENGINE_AWARE = frozenset({"ext-rack", "ext-scale", "ext-tails", "headline"})
+#: ``ext-tails`` and ``ext-diurnal`` are engine-aware only to *reject*
+#: non-DES tiers with a clear error — span tracing and per-request
+#: arrival processes need the discrete-event hot paths.
+ENGINE_AWARE = frozenset(
+    {"ext-rack", "ext-scale", "ext-tails", "ext-diurnal", "headline"}
+)
 
 
 def collect_sweeps(value) -> List[SweepResult]:

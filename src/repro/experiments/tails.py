@@ -144,15 +144,14 @@ def run_tails(
     engine: str = "des",
 ) -> ExperimentResult:
     """Span-traced tail attribution across policies, staleness, hedging."""
-    from ..fastpath import resolve_engine
+    from ..fastpath import require_des
 
-    resolved = resolve_engine(engine, NUM_NODES)
-    if resolved != "des":
-        raise ValueError(
-            f"ext-tails requires engine='des' — span tracing instruments "
-            f"the discrete-event hot paths, which the {resolved!r} tier "
-            "does not execute (pass --engine des, or unset REPRO_ENGINE)"
-        )
+    require_des(
+        "ext-tails",
+        engine,
+        NUM_NODES,
+        "span tracing instruments the discrete-event hot paths",
+    )
 
     prof = get_profile(profile)
     requests = max(prof.arch_requests // 4, 800)

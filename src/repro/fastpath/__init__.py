@@ -32,7 +32,7 @@ from .fastcluster import (
     simulate_rack_fast,
 )
 from .fluid import fluid_tail_measure, simulate_cluster_fluid
-from .select import DEFAULT_FLUID_THRESHOLD, ENGINES, resolve_engine
+from .select import DEFAULT_FLUID_THRESHOLD, ENGINES, require_des, resolve_engine
 
 __all__ = [
     "CalendarQueue",
@@ -43,6 +43,7 @@ __all__ = [
     "fast_scheme_sweep",
     "fluid_tail_measure",
     "resolve_engine",
+    "require_des",
     "simulate_cluster_fluid",
     "simulate_rack_fast",
 ]

@@ -1,0 +1,153 @@
+"""Arrival-trace record/replay: persist a stream, replay it exactly.
+
+Any generated arrival stream — stationary, diurnal, MMPP, population —
+can be recorded to a small text format and replayed later with
+byte-identical timing, which makes a one-off interesting burst a
+permanent regression fixture. Times are serialized with ``float.hex``
+so the round trip is exact (no decimal rounding), and the format is
+line-oriented with ``#`` comments so traces diff cleanly in review.
+
+Format (``repro-arrivals v1``)::
+
+    # repro-arrivals v1
+    # any number of comment lines
+    0x1.92a4p+10        <- absolute arrival time in ns, one per line
+
+:func:`record_arrivals` draws a stream from any
+:class:`~repro.popload.arrivals.ArrivalProcess`;
+:class:`RecordedArrivals` is itself an ``ArrivalProcess``, so a loaded
+trace plugs into every generator/cluster entry point unchanged (it
+consumes no RNG).
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Union
+
+import numpy as np
+
+from .arrivals import ArrivalProcess
+
+__all__ = [
+    "TRACE_HEADER",
+    "save_arrival_trace",
+    "load_arrival_trace",
+    "record_arrivals",
+    "RecordedArrivals",
+]
+
+TRACE_HEADER = "# repro-arrivals v1"
+
+_PathLike = Union[str, pathlib.Path]
+
+
+def save_arrival_trace(path: _PathLike, times_ns: np.ndarray) -> pathlib.Path:
+    """Write absolute arrival times (ns) as an exact, diffable trace."""
+    times = np.asarray(times_ns, dtype=float)
+    if times.size == 0:
+        raise ValueError("refusing to save an empty arrival trace")
+    if np.any(~np.isfinite(times)):
+        raise ValueError("arrival times must be finite")
+    if np.any(np.diff(times) < 0) or times[0] < 0:
+        raise ValueError("arrival times must be non-negative and sorted")
+    path = pathlib.Path(path)
+    lines = [TRACE_HEADER]
+    lines.extend(float(t).hex() for t in times)
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def load_arrival_trace(path: _PathLike) -> np.ndarray:
+    """Read a trace back; exact inverse of :func:`save_arrival_trace`."""
+    path = pathlib.Path(path)
+    times = []
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            times.append(float.fromhex(line))
+        except ValueError:
+            try:
+                times.append(float(line))
+            except ValueError:
+                raise ValueError(
+                    f"{path}:{lineno}: {line!r} is not a float or "
+                    "float.hex arrival time"
+                ) from None
+    if not times:
+        raise ValueError(
+            f"arrival trace {path} is empty — expected one arrival time "
+            "per line (see popload.trace format docs)"
+        )
+    data = np.asarray(times, dtype=float)
+    if np.any(np.diff(data) < 0) or data[0] < 0:
+        raise ValueError(
+            f"arrival trace {path} is not a sorted non-negative time "
+            "series — was it edited by hand?"
+        )
+    return data
+
+
+def record_arrivals(
+    process: ArrivalProcess, rng: np.random.Generator, n: int
+) -> np.ndarray:
+    """Materialize ``n`` absolute arrival times from any process."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n!r}")
+    return process.sample_times(rng, n)
+
+
+class RecordedArrivals(ArrivalProcess):
+    """Replay a recorded arrival stream deterministically.
+
+    Consumes **no** randomness: ``sample_gaps`` ignores the passed
+    generator entirely, so the named ``"arrivals"`` stream is left
+    untouched and every other stream in the run keeps its alignment.
+    """
+
+    name = "recorded"
+
+    def __init__(self, times_ns: np.ndarray) -> None:
+        times = np.asarray(times_ns, dtype=float)
+        if times.size == 0:
+            raise ValueError("recorded arrival stream must not be empty")
+        if np.any(np.diff(times) < 0) or times[0] < 0:
+            raise ValueError(
+                "recorded arrival times must be non-negative and sorted"
+            )
+        self._times = times
+
+    @classmethod
+    def from_file(cls, path: _PathLike) -> "RecordedArrivals":
+        return cls(load_arrival_trace(path))
+
+    @property
+    def times_ns(self) -> np.ndarray:
+        """Copy of the recorded absolute times."""
+        return self._times.copy()
+
+    def __len__(self) -> int:
+        return int(self._times.size)
+
+    @property
+    def mean_rate_rps(self) -> float:
+        span = float(self._times[-1])
+        if span <= 0:
+            return 0.0
+        return self._times.size / span * 1e9
+
+    def sample_gaps(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n!r}")
+        if n > self._times.size:
+            raise ValueError(
+                f"trace holds {self._times.size} arrivals but {n} were "
+                "requested — record a longer stream or lower num_requests"
+            )
+        return np.diff(self._times[:n], prepend=0.0)
+
+    def sample_times(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        self.sample_gaps(rng, n)  # bounds check
+        return self._times[:n].copy()

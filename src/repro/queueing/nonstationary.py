@@ -1,14 +1,17 @@
 """Nonstationary arrivals: bursts and diurnal load swings.
 
 The paper's Poisson arrivals are stationary; real RPC traffic has
-flash bursts (fan-out storms) and slow rate swings. This module
-generates **nonhomogeneous Poisson** arrival times by thinning, plus a
-convenience square-wave burst profile, so the Q×U comparison can be
-re-run under bursty load. Two regimes (both verified in the tests):
-bursts that stay below system capacity are absorbed by the single
-queue but transiently overload 16×1's unlucky queues — the relative
-gap *widens*; bursts far past capacity build the same backlog in both
-systems and the relative gap compresses (while absolute tails explode).
+flash bursts (fan-out storms) and slow rate swings. This module keeps
+the queueing-level convenience rate shapes (square wave, sinusoid) and
+re-exports the **nonhomogeneous Poisson** thinner from
+:mod:`repro.popload.arrivals` — the population-driven workload
+subsystem now owns the single implementation, and this import path
+stays for existing consumers (bit-identical streams). Two regimes
+(both verified in the tests): bursts that stay below system capacity
+are absorbed by the single queue but transiently overload 16×1's
+unlucky queues — the relative gap *widens*; bursts far past capacity
+build the same backlog in both systems and the relative gap compresses
+(while absolute tails explode).
 """
 
 from __future__ import annotations
@@ -17,51 +20,13 @@ from typing import Callable, Tuple
 
 import numpy as np
 
+from ..popload.arrivals import nonhomogeneous_poisson
+
 __all__ = [
     "nonhomogeneous_poisson",
     "square_wave_rate",
     "sinusoidal_rate",
 ]
-
-
-def nonhomogeneous_poisson(
-    rng: np.random.Generator,
-    rate_fn: Callable[[float], float],
-    rate_max: float,
-    horizon: float,
-) -> np.ndarray:
-    """Arrival times on [0, horizon) with intensity ``rate_fn(t)``.
-
-    Standard thinning (Lewis & Shedler): candidates from a homogeneous
-    Poisson at ``rate_max`` are accepted with probability
-    ``rate_fn(t)/rate_max``. ``rate_fn`` must never exceed ``rate_max``.
-    """
-    if rate_max <= 0:
-        raise ValueError(f"rate_max must be positive, got {rate_max!r}")
-    if horizon <= 0:
-        raise ValueError(f"horizon must be positive, got {horizon!r}")
-    # Generate candidates in blocks to stay vectorized.
-    expected = rate_max * horizon
-    block = max(int(expected * 1.2) + 16, 64)
-    times = []
-    t = 0.0
-    while t < horizon:
-        gaps = rng.exponential(1.0 / rate_max, size=block)
-        candidates = t + np.cumsum(gaps)
-        candidates = candidates[candidates < horizon]
-        if candidates.size == 0 and t + gaps.sum() >= horizon:
-            break
-        accept = rng.uniform(size=candidates.size)
-        for when, u in zip(candidates, accept):
-            rate = rate_fn(float(when))
-            if rate < 0 or rate > rate_max * (1 + 1e-9):
-                raise ValueError(
-                    f"rate_fn({when}) = {rate} outside [0, rate_max={rate_max}]"
-                )
-            if u < rate / rate_max:
-                times.append(float(when))
-        t = float(candidates[-1]) if candidates.size else t + gaps.sum()
-    return np.asarray(times)
 
 
 def square_wave_rate(

@@ -40,7 +40,7 @@ from .primitives import (
     TimeSeries,
     merge_histograms,
 )
-from .probes import instrument_chip, instrument_cluster
+from .probes import instrument_chip, instrument_cluster, instrument_traffic
 
 __all__ = [
     "Counter",
@@ -55,6 +55,7 @@ __all__ = [
     "merge_snapshots",
     "instrument_chip",
     "instrument_cluster",
+    "instrument_traffic",
     "snapshot_jsonl_lines",
     "write_snapshot_jsonl",
     "series_csv",

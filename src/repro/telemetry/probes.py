@@ -29,8 +29,9 @@ from .hub import TelemetryHub
 if TYPE_CHECKING:  # pragma: no cover
     from ..arch.chip import Chip
     from ..cluster.cluster import Cluster
+    from ..workloads.traffic import TrafficGenerator
 
-__all__ = ["instrument_chip", "instrument_cluster"]
+__all__ = ["instrument_chip", "instrument_cluster", "instrument_traffic"]
 
 #: Canonical metric names used by :func:`instrument_chip`.
 PRIVATE_CQ_DEPTH = "arch.private_cq_depth"
@@ -89,6 +90,32 @@ def instrument_chip(chip: "Chip", hub: TelemetryHub) -> TelemetryHub:
             lambda b=backend: len(b._pipeline),
         )
     hub.add_probe("recv_slots", lambda rb=chip.receive_buffer: rb.occupied)
+    return hub
+
+
+#: Canonical metric names of the traffic-side offered-load tracks.
+OFFERED_RATE = "traffic.offered_rate_rps"
+OFFERED_ARRIVALS = "traffic.generated"
+
+
+def instrument_traffic(
+    traffic: "TrafficGenerator", hub: TelemetryHub
+) -> TelemetryHub:
+    """Attach offered-load probes to a traffic generator.
+
+    Two periodic counter tracks (→ Perfetto): the *intended* offered
+    rate λ(t) in requests/second (:data:`OFFERED_RATE` — constant for
+    the paper's stationary Poisson, the profile curve for
+    population-driven processes from :mod:`repro.popload`), and the
+    cumulative generated-arrival count (:data:`OFFERED_ARRIVALS`).
+    Probes added after the hub's sampler is attached still sample —
+    the sampler reads the hub's probe list by reference.
+    """
+    env = traffic.chip.env
+    hub.add_probe(
+        OFFERED_RATE, lambda t=traffic, e=env: t.offered_rate_rps(e.now)
+    )
+    hub.add_probe(OFFERED_ARRIVALS, lambda t=traffic: t.generated)
     return hub
 
 

@@ -27,6 +27,8 @@ from typing import Deque, Dict, List, Optional, Tuple
 from ..arch.buffers import DynamicSlotAllocator
 from ..arch.chip import Chip
 from ..arch.packets import SendMessage
+from ..popload.arrivals import ArrivalProcess
+from ..popload.skew import zipf_weights
 from ..sim import RngRegistry
 from .base import RpcWorkload
 
@@ -141,6 +143,7 @@ class TrafficGenerator:
         slot_policy: str = "static",
         pool_size: Optional[int] = None,
         source_skew: float = 0.0,
+        arrival_process: Optional[ArrivalProcess] = None,
     ) -> None:
         if arrival_rate_rps <= 0:
             raise ValueError(f"arrival rate must be positive, got {arrival_rate_rps!r}")
@@ -150,11 +153,23 @@ class TrafficGenerator:
             raise ValueError(f"slot_policy must be 'static' or 'dynamic', got {slot_policy!r}")
         if source_skew < 0:
             raise ValueError(f"source_skew must be non-negative, got {source_skew!r}")
+        if arrival_process is not None and not isinstance(
+            arrival_process, ArrivalProcess
+        ):
+            raise TypeError(
+                "arrival_process must be a repro.popload ArrivalProcess, "
+                f"got {type(arrival_process).__name__}"
+            )
         self.chip = chip
         self.workload = workload
         self.arrival_rate_rps = arrival_rate_rps
         self.num_requests = num_requests
         self.slot_policy = slot_policy
+        #: Optional population-driven arrival stream (repro.popload).
+        #: None keeps the paper's stationary Poisson at
+        #: ``arrival_rate_rps``, byte-identical to the historical path;
+        #: a StationaryPoisson at the same rate reproduces it exactly.
+        self.arrival_process = arrival_process
         #: Zipf-like exponent over sender ranks: 0 = the paper's
         #: uniformly random sources; >0 makes low-ranked nodes send a
         #: disproportionate share (skewed flow rates, where static
@@ -165,10 +180,7 @@ class TrafficGenerator:
         self._service_rng = rngs.stream("service")
         num_remote = chip.config.num_remote_nodes
         if source_skew > 0:
-            import numpy as np
-
-            weights = 1.0 / np.arange(1, num_remote + 1, dtype=float) ** source_skew
-            self._source_probs = weights / weights.sum()
+            self._source_probs = zipf_weights(num_remote, source_skew)
         else:
             self._source_probs = None
 
@@ -213,7 +225,12 @@ class TrafficGenerator:
         # arch-simulator hot path. Arrivals, sources, and services are
         # separate named streams, so batching each stream consumes its
         # bitstream exactly like the former per-request scalar draws.
-        gaps = self._arrival_rng.exponential(mean_gap_ns, size=n)
+        # An arrival process (repro.popload) replaces only the gap
+        # batch; StationaryPoisson makes the identical vectorized call.
+        if self.arrival_process is not None:
+            gaps = self.arrival_process.sample_gaps(self._arrival_rng, n)
+        else:
+            gaps = self._arrival_rng.exponential(mean_gap_ns, size=n)
         if self._source_probs is not None:
             sources = self._source_rng.choice(
                 num_remote, size=n, p=self._source_probs
@@ -299,3 +316,16 @@ class TrafficGenerator:
         if self.generated == 0:
             return 0.0
         return self.stalled / self.generated
+
+    def offered_rate_rps(self, t_ns: Optional[float] = None) -> float:
+        """Intended offered rate at ``t_ns`` (defaults to sim-now).
+
+        The telemetry offered-rate track samples this: profile-backed
+        arrival processes report λ(t); the legacy stationary path
+        reports the constant ``arrival_rate_rps``.
+        """
+        if self.arrival_process is None:
+            return self.arrival_rate_rps
+        if t_ns is None:
+            t_ns = self.chip.env.now
+        return self.arrival_process.rate_at(t_ns)
