@@ -10,7 +10,10 @@ in ``bench_timings.json``; this script renders the two side by side:
     ...
 
 Exits non-zero (``--fail-over PCT``) when any figure regressed by more
-than the given percentage — usable as a cheap CI tripwire.
+than the given percentage — usable as a cheap CI tripwire. Repeatable
+``--budget NAME=SECONDS`` flags additionally enforce absolute wall
+budgets on individual figures (e.g. ``--budget run_diurnal=1.0`` keeps
+the fast-tier diurnal smoke under a second regardless of history).
 """
 
 from __future__ import annotations
@@ -21,6 +24,23 @@ import pathlib
 import sys
 
 DEFAULT_PATH = pathlib.Path(__file__).parent / "output" / "bench_timings.json"
+
+
+def _parse_budget(spec: str):
+    name, sep, seconds = spec.partition("=")
+    if not sep or not name:
+        raise argparse.ArgumentTypeError(
+            f"expected NAME=SECONDS, got {spec!r}"
+        )
+    try:
+        limit = float(seconds)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"budget for {name!r} is not a number: {seconds!r}"
+        ) from None
+    if limit <= 0:
+        raise argparse.ArgumentTypeError(f"budget for {name!r} must be > 0")
+    return name, limit
 
 
 def _speed_note(prev_s: float, cur_s: float) -> str:
@@ -50,6 +70,17 @@ def main(argv=None) -> int:
         metavar="PCT",
         help="exit 1 if any figure slowed down by more than PCT percent",
     )
+    parser.add_argument(
+        "--budget",
+        action="append",
+        type=_parse_budget,
+        default=[],
+        metavar="NAME=SECONDS",
+        help=(
+            "exit 1 if figure NAME's current wall clock exceeds SECONDS "
+            "(repeatable); a missing figure also fails"
+        ),
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -60,7 +91,7 @@ def main(argv=None) -> int:
     previous = current.get("previous")
     if not isinstance(previous, dict):
         print(f"{args.path} has no embedded previous run; nothing to compare")
-        return 0
+        return _check_budgets(args.budget, current.get("wall_clock_s", {}))
 
     def _meta(payload):
         return (
@@ -107,11 +138,32 @@ def main(argv=None) -> int:
             f"{total_cur:>8.3f}s  "
             f"{(total_cur - total_prev) / total_prev * 100:>+7.1f}%"
         )
+    failed = False
     if regressed:
         print(
             "\nregressions over "
             f"{args.fail_over:g}%: "
             + ", ".join(f"{name} ({delta:+.1f}%)" for name, delta in regressed),
+            file=sys.stderr,
+        )
+        failed = True
+    if _check_budgets(args.budget, cur_times):
+        failed = True
+    return 1 if failed else 0
+
+
+def _check_budgets(budgets, cur_times) -> int:
+    """Return 1 (and print to stderr) if any figure exceeds its budget."""
+    over_budget = []
+    for name, limit in budgets:
+        cur_s = cur_times.get(name)
+        if cur_s is None:
+            over_budget.append(f"{name} (missing from current run)")
+        elif cur_s > limit:
+            over_budget.append(f"{name} ({cur_s:.3f}s > {limit:g}s)")
+    if over_budget:
+        print(
+            "\nbudgets exceeded: " + ", ".join(over_budget),
             file=sys.stderr,
         )
         return 1

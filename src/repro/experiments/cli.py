@@ -85,9 +85,13 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
 
 #: Experiments whose driver accepts ``engine=`` (see
 #: :mod:`repro.fastpath`); everything else always runs the DES.
-#: ``ext-tails`` and ``ext-diurnal`` are engine-aware only to *reject*
-#: non-DES tiers with a clear error — span tracing and per-request
-#: arrival processes need the discrete-event hot paths.
+#: Resolution is capability-aware
+#: (:data:`repro.fastpath.ENGINE_CAPABILITIES`): shaped arrival
+#: processes and fault plans run on the per-RPC tiers, deterministic
+#: rate profiles additionally on the fluid tier's transient ODE, and
+#: ``ext-tails`` stays DES-only — span tracing instruments the
+#: discrete-event hot paths themselves, so its driver rejects every
+#: other tier with an actionable error.
 ENGINE_AWARE = frozenset(
     {"ext-rack", "ext-scale", "ext-tails", "ext-diurnal", "headline"}
 )

@@ -18,30 +18,52 @@ two cheaper tiers, selectable per run through ``engine=``:
 
 ``des`` stays the bit-exact ground truth and the default for every
 figure driver; the engine-aware drivers (``ext-rack``, ``headline``)
-default to ``fast`` and ``ext-scale`` to ``auto``, which picks ``fast``
-up to :data:`~repro.fastpath.select.DEFAULT_FLUID_THRESHOLD` nodes and
-``fluid`` above. Tolerance bands and the validity envelope of each
-tier are documented in EXPERIMENTS.md ("Engine tiers").
+default to ``fast`` and ``ext-scale``/``ext-diurnal`` to ``auto``,
+which picks ``fast`` up to
+:data:`~repro.fastpath.select.DEFAULT_FLUID_THRESHOLD` nodes and
+``fluid`` above. Resolution is capability-aware (shaped arrivals,
+fault plans, span tracing, chip surrogates — see
+:data:`~repro.fastpath.select.ENGINE_CAPABILITIES`): ``auto`` falls
+back down the ladder rather than dropping a feature, and an explicit
+tier that cannot execute the scenario raises. Tolerance bands and the
+validity envelope of each tier are documented in EXPERIMENTS.md
+("Engine tiers").
 """
 
 from .calendar import CalendarQueue
-from .fastchip import fast_scheme_sweep
+from .fastchip import calibrated_chip_profile, fast_chip_point, fast_scheme_sweep
 from .fastcluster import (
     calibrated_scheme_profile,
     calibrated_service_overhead_ns,
     simulate_rack_fast,
 )
-from .fluid import fluid_tail_measure, simulate_cluster_fluid
-from .select import DEFAULT_FLUID_THRESHOLD, ENGINES, require_des, resolve_engine
+from .fluid import fluid_tail_measure, fluid_transient_measure, simulate_cluster_fluid
+from .select import (
+    DEFAULT_FLUID_THRESHOLD,
+    ENGINE_CAPABILITIES,
+    ENGINES,
+    arrival_capability,
+    engine_supports,
+    require_des,
+    required_capabilities,
+    resolve_engine,
+)
 
 __all__ = [
     "CalendarQueue",
     "DEFAULT_FLUID_THRESHOLD",
     "ENGINES",
+    "ENGINE_CAPABILITIES",
+    "arrival_capability",
+    "calibrated_chip_profile",
     "calibrated_scheme_profile",
     "calibrated_service_overhead_ns",
+    "engine_supports",
+    "fast_chip_point",
     "fast_scheme_sweep",
     "fluid_tail_measure",
+    "fluid_transient_measure",
+    "required_capabilities",
     "resolve_engine",
     "require_des",
     "simulate_cluster_fluid",

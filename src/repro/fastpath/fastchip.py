@@ -27,7 +27,8 @@ within the tolerance bands in EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Sequence
+from functools import lru_cache
+from typing import Sequence, Tuple
 
 import numpy as np
 
@@ -38,9 +39,18 @@ from ..metrics import LatencySummary, SweepPoint, SweepResult
 from ..queueing.fastsim import poisson_arrivals, simulate_fifo_queue
 from ..runner import task_seed
 
-__all__ = ["fast_scheme_sweep"]
+__all__ = [
+    "calibrated_chip_profile",
+    "fast_scheme_sweep",
+    "fast_chip_point",
+]
 
 _TOTAL_CORES = 16
+
+#: Mid-load probe for the single-chip occupancy split (~0.8x the HERD
+#: capacity of one 16-core chip — the regime the shaped sweeps peak in).
+_CHIP_PROBE_MRPS = 23.0
+_CHIP_PROBE_REQUESTS = 1500
 
 
 def _spray_departures(
@@ -85,6 +95,156 @@ def _scheme_departures(
             dequeued, services + DEFAULT_CRITICAL_NS, _TOTAL_CORES, validate=False
         )
     raise ValueError(f"no fast surrogate for scheme {scheme!r}")
+
+
+@lru_cache(maxsize=None)
+def calibrated_chip_profile(
+    scheme: str, probe_seed: int = 0
+) -> Tuple[float, float]:
+    """DES-anchored ``(occupancy_ns, shift_ns)`` for one single chip.
+
+    The single-chip counterpart of
+    :func:`~repro.fastpath.fastcluster.calibrated_scheme_profile`,
+    anchored against ``make_system`` (the NI + chip DES) instead of the
+    rack cluster — the two pipelines pay different overheads, so the
+    rack split does not transfer.
+
+    A light-load DES probe (1 MRPS, where queueing is negligible)
+    measures the total per-RPC latency overhead L = mean sojourn minus
+    mean processing. For ``1x16`` all of L occupies the shared
+    16-server queue (occupancy = L, shift = 0; the DES cross-checks in
+    the agreement tests confirm the split is insensitive there). For
+    ``16x1`` the per-core FIFOs are very sensitive to occupancy, so a
+    second mid-load probe (:data:`_CHIP_PROBE_MRPS`) anchors the split:
+    bisect the occupancy until :func:`fast_chip_point` reproduces the
+    probe's mean sojourn on the identical scenario, and book the
+    remainder of L as a pure latency shift. Cached per
+    ``(scheme, probe_seed)``: one diurnal sweep pays for two probes.
+    """
+    from ..core import make_system
+    from ..workloads import HerdWorkload
+
+    workload = HerdWorkload()
+    system = make_system(scheme, "herd", seed=probe_seed)
+    light = system.run_point(
+        1.0, num_requests=_CHIP_PROBE_REQUESTS, warmup_fraction=0.1
+    )
+    overhead = max(
+        light.point.summary.mean - workload.mean_processing_ns, 0.0
+    )
+    if scheme == "1x16":
+        return overhead, 0.0
+
+    mid_seed = task_seed("fastchip-probe", scheme, 0, probe_seed)
+    probe_system = make_system(scheme, "herd", seed=mid_seed)
+    target = probe_system.run_point(
+        _CHIP_PROBE_MRPS,
+        num_requests=_CHIP_PROBE_REQUESTS,
+        warmup_fraction=0.1,
+    ).point.summary.mean
+
+    def engine_mean(occupancy: float) -> float:
+        point = fast_chip_point(
+            scheme,
+            workload,
+            _CHIP_PROBE_MRPS,
+            _CHIP_PROBE_REQUESTS,
+            mid_seed,
+            (occupancy, overhead - occupancy),
+        )
+        return point.summary.mean
+
+    low, high = 0.0, overhead
+    for _ in range(10):
+        mid = (low + high) / 2.0
+        if engine_mean(mid) > target:
+            high = mid
+        else:
+            low = mid
+    occupancy = (low + high) / 2.0
+    return occupancy, overhead - occupancy
+
+
+def fast_chip_point(
+    scheme: str,
+    workload,
+    offered_mrps: float,
+    num_requests: int,
+    seed: int,
+    profile: Tuple[float, float],
+    arrival_process=None,
+    warmup_fraction: float = 0.1,
+) -> SweepPoint:
+    """One single-chip load point under an arbitrary arrival process.
+
+    The shaped-load counterpart of :func:`fast_scheme_sweep`, built for
+    ``ext-diurnal``'s ``engine="fast"`` path. It consumes the *same*
+    named RNG streams as the DES system (``"arrivals"`` for the gap
+    batch — through the process's own ``sample_gaps`` — ``"service"``
+    for the workload batch, and ``"group_spray"`` for 16x1's
+    per-message core picks, exactly as the DES chip sprays), so for a
+    given ``seed`` the fast tier sees bit-identical arrival times,
+    service draws, and core assignments to the DES run it stands in
+    for: the engines differ only in the queueing model (calibrated
+    FIFO vs per-event NI pipeline), which is what keeps the agreement
+    bands tight under diurnal/flash/MMPP shapes.
+
+    ``profile`` is the ``(occupancy_ns, shift_ns)`` split from
+    :func:`calibrated_chip_profile`: occupancy is added to every
+    service time (it contends for cores), the shift to every sojourn
+    (NI pipeline stages overlapped with other requests). Warmup and
+    achieved-throughput semantics mirror ``RpcValetSystem.run_point``
+    (completion-time quantile cutoff).
+    """
+    from ..sim import RngRegistry
+
+    if offered_mrps <= 0:
+        raise ValueError(f"offered_mrps must be positive, got {offered_mrps!r}")
+    if num_requests <= 0:
+        raise ValueError(f"num_requests must be positive, got {num_requests!r}")
+    occupancy_ns, shift_ns = float(profile[0]), float(profile[1])
+    if occupancy_ns < 0 or shift_ns < 0:
+        raise ValueError(
+            f"profile components must be non-negative, got {profile!r}"
+        )
+    n = num_requests
+    rngs = RngRegistry(seed)
+    arrival_rng = rngs.stream("arrivals")
+    if arrival_process is not None:
+        gaps = arrival_process.sample_gaps(arrival_rng, n)
+    else:
+        gaps = arrival_rng.exponential(1e3 / offered_mrps, size=n)
+    arrivals = np.cumsum(gaps)
+    base, _labels = workload.sample_batch(rngs.stream("service"), n)
+    services = base + occupancy_ns
+    departures = _scheme_departures(
+        scheme, arrivals, services, rngs.stream("group_spray")
+    )
+    sojourns = departures - arrivals + shift_ns
+    # Warmup mirrors LatencyRecorder.summary: drop the earliest-
+    # completing fraction by completion-time quantile (strict >).
+    cutoff = (
+        float(np.quantile(departures, warmup_fraction))
+        if warmup_fraction > 0
+        else 0.0
+    )
+    summary = LatencySummary.from_values(sojourns[departures > cutoff])
+    kept = departures[departures >= cutoff]
+    achieved = 0.0
+    if kept.size >= 2:
+        start = max(cutoff, float(kept.min()))
+        duration = float(kept.max()) - start
+        if duration > 0:
+            achieved = kept.size / duration * 1e3
+    return SweepPoint(
+        offered_load=float(offered_mrps),
+        achieved_throughput=achieved,
+        summary=summary,
+        extra={
+            "mean_service_ns": float(services.mean()),
+            "stall_fraction": 0.0,
+        },
+    )
 
 
 def fast_scheme_sweep(

@@ -21,18 +21,36 @@ approach:
   kernel's generic heap, and reuse the *exact* policy/signal classes
   from :mod:`repro.rack` so routing semantics cannot drift.
 
+Shaped arrivals (any :class:`repro.popload.ArrivalProcess`) replace
+the per-client exponential batch with per-client ``sample_gaps`` calls
+— same one-deterministic-sweep RNG contract, so runs stay bit-identical
+at any worker count. :class:`repro.faults.FaultPlan` timelines run as
+window lookups against the materialized plan (the same
+``materialize(num_nodes, horizon, seed)`` the DES injector schedules
+from): crashes drop requests routed to a down node and floor the
+node's server-free times at recovery (the outage freezes its servers),
+slowdowns scale the effective speed of requests launched inside the
+window, and fabric degradation rolls batched drop/dup/delay-spike
+fates per request. Faulted runs always take the sequential loop.
+
 Approximations versus DES (documented in EXPERIMENTS.md): the chip is
 a FIFO with calibrated fixed overhead (no NI pipelining or mesh
 contention), fabric latency is a uniform shift (it cancels out of
 server-side sojourns), send-slot exhaustion is *counted* as stalls but
 does not delay the message, and broadcast load signals refresh at the
-first event past each tick rather than mid-gap. Tolerance bands are
-enforced by ``tests/test_fastpath.py``.
+first event past each tick rather than mid-gap. Under faults: requests
+in flight when their server crashes keep their departure times (only
+new work is dropped/frozen), blocked sends re-issued by a replenish
+skip the liveness check, duplicated deliveries are counted but not
+re-executed, and signal blackouts are a no-op (signals here are
+synchronous state reads). Tolerance bands are enforced by
+``tests/test_fastpath.py``.
 """
 
 from __future__ import annotations
 
 import heapq
+import math
 from bisect import bisect_right
 from functools import lru_cache
 from typing import List, Optional, Sequence
@@ -252,6 +270,145 @@ def _count_stalls(
     return stalled
 
 
+class _FaultTimeline:
+    """One materialized :class:`~repro.faults.FaultPlan`, as flat windows.
+
+    The DES injector executes the plan as scheduled callbacks; this
+    engine has no event kernel, so the same materialized events become
+    per-node window lists the sequential loop probes by containment
+    (plans hold a handful of events — linear scans beat any index).
+    The fabric stream reuses the DES's ``"faults.fabric"`` name from a
+    :class:`~repro.sim.RngRegistry`, so fault-free runs draw nothing.
+    """
+
+    def __init__(self, plan, num_nodes: int, horizon_ns: float, seed: int) -> None:
+        from ..faults import FaultStats
+        from ..faults.plan import (
+            FabricDegradation,
+            NodeCrash,
+            NodeSlowdown,
+        )
+
+        self.plan = plan
+        self.stats = FaultStats()
+        self.crash_windows: List[List[tuple]] = [[] for _ in range(num_nodes)]
+        self.slow_windows: List[List[tuple]] = [[] for _ in range(num_nodes)]
+        self.fabric_windows: List[tuple] = []
+        for event in plan.materialize(num_nodes, horizon_ns, seed):
+            if isinstance(event, NodeCrash):
+                end = (
+                    event.at_ns + event.outage_ns
+                    if event.outage_ns is not None
+                    else math.inf
+                )
+                self.crash_windows[event.node].append((event.at_ns, end))
+            elif isinstance(event, NodeSlowdown):
+                self.slow_windows[event.node].append(
+                    (event.at_ns, event.at_ns + event.duration_ns, event.factor)
+                )
+            elif isinstance(event, FabricDegradation):
+                self.fabric_windows.append(
+                    (event.at_ns, event.at_ns + event.duration_ns, event)
+                )
+            # SignalBlackout: this engine's load signals are synchronous
+            # state reads with nothing to go dark; a blackout is a no-op.
+        for windows in self.crash_windows:
+            windows.sort()
+        self.fabric_windows.sort(key=lambda window: window[0])
+        #: (recovery_time, node) boundaries for server-free-time surgery.
+        self.recoveries = sorted(
+            (end, node)
+            for node, windows in enumerate(self.crash_windows)
+            for (_start, end) in windows
+            if end != math.inf
+        )
+        self.has_fabric = plan.has_fabric_noise or bool(self.fabric_windows)
+        if self.has_fabric:
+            from ..sim import RngRegistry
+
+            self.fabric_rng = RngRegistry(seed).stream("faults.fabric")
+        else:
+            self.fabric_rng = None
+
+    def node_down(self, node: int, t_ns: float) -> bool:
+        return any(
+            start <= t_ns < end for start, end in self.crash_windows[node]
+        )
+
+    def speed_factor(self, node: int, t_ns: float) -> float:
+        factor = 1.0
+        # Overlapping windows compound, like the DES injector.
+        for start, end, window_factor in self.slow_windows[node]:
+            if start <= t_ns < end:
+                factor *= window_factor
+        return factor
+
+    def fabric_fate(self, t_ns: float) -> tuple:
+        """(dropped, extra_delay_ns) for one request's fabric traversal.
+
+        Mirrors ``FaultInjector.transmit``'s draw order — drop, then
+        spike, then dup — with window probabilities stacked on the
+        plan's steady-state noise. Draws only while fabric faults are
+        live, so the stream stays aligned with configured windows.
+        """
+        plan = self.plan
+        drop, dup, spike, spike_ns = (
+            plan.drop_prob,
+            plan.dup_prob,
+            plan.spike_prob,
+            plan.spike_ns,
+        )
+        active = False
+        for start, end, window in self.fabric_windows:
+            if start <= t_ns < end:
+                active = True
+                drop = min(drop + window.drop_prob, 1.0)
+                dup = min(dup + window.dup_prob, 1.0)
+                spike = min(spike + window.spike_prob, 1.0)
+                spike_ns = max(spike_ns, window.spike_ns)
+        if self.fabric_rng is None or not (active or plan.has_fabric_noise):
+            return False, 0.0
+        rng = self.fabric_rng
+        if rng.random() < drop:
+            self.stats.msg_drops += 1
+            return True, 0.0
+        delay = 0.0
+        if spike > 0 and rng.random() < spike:
+            self.stats.delay_spikes += 1
+            delay = spike_ns
+        if dup > 0 and rng.random() < dup:
+            # Counted only: the receiver dedups, so the duplicate costs
+            # fabric accounting but no second service.
+            self.stats.msg_dups += 1
+        return False, delay
+
+    def finalize(self, elapsed_ns: float, total: int, lost: int) -> list:
+        """Fill timeline stats and return per-node availability."""
+        stats = self.stats
+        stats.offered = total
+        stats.completed = total - lost
+        stats.lost = lost
+        availability = []
+        for node, windows in enumerate(self.crash_windows):
+            down_ns = 0.0
+            for start, end in windows:
+                if start <= elapsed_ns:
+                    stats.crashes += 1
+                    down_ns += min(end, elapsed_ns) - start
+                    if end <= elapsed_ns:
+                        stats.recoveries += 1
+            availability.append(
+                max(0.0, 1.0 - down_ns / elapsed_ns)
+                if elapsed_ns > 0
+                else 1.0
+            )
+        for windows in self.slow_windows:
+            stats.slowdowns += sum(
+                1 for start, _end, _factor in windows if start <= elapsed_ns
+            )
+        return availability
+
+
 def simulate_rack_fast(
     num_nodes: int,
     policy: str = "random",
@@ -266,6 +423,8 @@ def simulate_rack_fast(
     warmup_fraction: float = 0.1,
     telemetry: bool = False,
     send_slots_per_node: int = DEFAULT_SEND_SLOTS,
+    arrival_process=None,
+    faults=None,
     _profile: Optional[tuple] = None,
 ) -> ClusterResult:
     """Run one rack scenario on the vectorized fast path.
@@ -274,6 +433,16 @@ def simulate_rack_fast(
     + :class:`repro.rack.RackRouter` combination and returns the same
     :class:`~repro.cluster.cluster.ClusterResult` shape, so drivers can
     switch engines without touching their downstream analysis.
+
+    ``arrival_process`` (any :class:`repro.popload.ArrivalProcess`)
+    replaces each client's Poisson stream with the process's own
+    ``sample_gaps`` — diurnal/flash thinning, MMPP redraws, population
+    windows — one deterministic sweep per client. ``faults`` (a
+    :class:`repro.faults.FaultPlan`) runs the materialized timeline
+    inside the sequential loop and populates the robust-mode result
+    fields (``offered``/``lost``/``goodput_mrps``/``availability``/
+    ``fault_stats``); both default to the legacy behaviour and leave
+    the legacy RNG consumption untouched.
     """
     if num_nodes < 2:
         raise ValueError(f"need at least 2 nodes, got {num_nodes!r}")
@@ -312,10 +481,21 @@ def simulate_rack_fast(
         for child in np.random.SeedSequence(seed).spawn(3)
     )
 
-    # Batched per-client Poisson streams, merged with one stable sort.
+    # Batched per-client arrival streams, merged with one stable sort.
     n = requests_per_node
     mean_gap_ns = 1e3 / per_node_mrps
-    gaps = arrival_rng.exponential(mean_gap_ns, size=(num_clients, n))
+    if arrival_process is not None:
+        # One deterministic sweep of the shared generator per client,
+        # mirroring how each DES node draws its own gap batch; the
+        # calendar bucket heuristic tracks the process's actual mean.
+        mean_rate = arrival_process.mean_rate_rps
+        if mean_rate > 0:
+            mean_gap_ns = 1e9 / mean_rate
+        gaps = np.stack(
+            [arrival_process.sample_gaps(arrival_rng, n) for _ in range(num_clients)]
+        )
+    else:
+        gaps = arrival_rng.exponential(mean_gap_ns, size=(num_clients, n))
     flat_times = np.cumsum(gaps, axis=1).ravel()
     flat_clients = np.repeat(np.arange(num_clients), n)
     order = np.argsort(flat_times, kind="stable")
@@ -332,13 +512,20 @@ def simulate_rack_fast(
     total = times.size
     errors: Optional[np.ndarray] = None
 
+    timeline: Optional[_FaultTimeline] = None
+    if faults is not None and not getattr(faults, "is_trivial", False):
+        # Same (plan, node-count, horizon, seed) materialization the
+        # DES injector schedules from, so fast and DES runs see the
+        # same fault timeline for a given scenario.
+        timeline = _FaultTimeline(faults, num_nodes, float(times[-1]), seed)
+
     static_dsts: Optional[np.ndarray] = None
     if not policy_obj.uses_load_signal:
         static_dsts = _route_static(
             policy_obj.label, destinations, clients, route_rng, num_nodes
         )
 
-    if static_dsts is not None and not _slots_may_bind(
+    if timeline is None and static_dsts is not None and not _slots_may_bind(
         static_dsts,
         processing,
         speeds,
@@ -362,8 +549,9 @@ def simulate_rack_fast(
             clients, dsts, times, departures, num_nodes, send_slots_per_node
         )
         sojourns = departures - times + shift[dsts]
+        dropped = None
     else:
-        dsts, sojourns, departures, errors, stalled = _route_sequential(
+        dsts, sojourns, departures, errors, stalled, dropped = _route_sequential(
             policy_obj,
             signal_obj,
             destinations,
@@ -379,11 +567,16 @@ def simulate_rack_fast(
             mean_gap_ns,
             send_slots_per_node,
             static_dsts,
+            timeline,
         )
 
     skip = int(total * warmup_fraction)
     kept_sojourns = sojourns[skip:]
     kept_dsts = dsts[skip:]
+    if dropped is not None:
+        kept_ok = ~dropped[skip:]
+        kept_sojourns = kept_sojourns[kept_ok]
+        kept_dsts = kept_dsts[kept_ok]
     aggregate = LatencySummary.from_values(kept_sojourns)
     per_node = [
         LatencySummary.from_values(kept_sojourns[kept_dsts == node])
@@ -409,16 +602,35 @@ def simulate_rack_fast(
     if telemetry:
         snapshot = _build_snapshot(routed_counts, errors)
 
+    lost = int(np.count_nonzero(dropped)) if dropped is not None else 0
+    completed = total - lost
+    throughput = completed / elapsed_ns * 1e3 if elapsed_ns > 0 else 0.0
+    availability = None
+    fault_stats = None
+    if timeline is not None:
+        availability = timeline.finalize(elapsed_ns, total, lost)
+        fault_stats = timeline.stats
+        completed_counts = np.bincount(
+            dsts[~dropped], minlength=num_nodes
+        )
+    else:
+        completed_counts = routed_counts
+
     return ClusterResult(
         num_nodes=num_nodes,
         aggregate=aggregate,
         per_node=per_node,
-        total_throughput_mrps=total / elapsed_ns * 1e3 if elapsed_ns > 0 else 0.0,
+        total_throughput_mrps=throughput,
         stall_fractions=[int(count) / n for count in stalled],
-        completed=total,
-        per_node_completed=[int(count) for count in routed_counts],
+        completed=completed,
+        per_node_completed=[int(count) for count in completed_counts],
         router_stats=stats,
         telemetry=snapshot,
+        offered=total if timeline is not None else 0,
+        lost=lost,
+        goodput_mrps=throughput if timeline is not None else 0.0,
+        availability=availability,
+        fault_stats=fault_stats,
     )
 
 
@@ -466,6 +678,7 @@ def _route_sequential(
     mean_gap_ns: float,
     slots: int,
     static_dsts: Optional[np.ndarray],
+    timeline: Optional[_FaultTimeline] = None,
 ):
     """Sequential event loop: load-aware routing and/or slot blocking.
 
@@ -482,6 +695,14 @@ def _route_sequential(
     per bucket. Like the DES, a send finding its per-destination slot
     pool exhausted waits client-side for a replenish; the server-side
     sojourn clock starts at submission, not generation.
+
+    With a fault ``timeline``, each request rolls its fabric fate at
+    routing time (drop / delay spike / counted dup), requests routed to
+    a node inside a crash window are dropped as ``crash_drops``, a
+    recovery boundary floors the node's server-free times (the outage
+    froze its servers), and slowdown windows scale the effective speed
+    of requests launched inside them. Dropped requests never occupy a
+    send slot or server and are excluded from the latency summaries.
     """
     num_nodes = len(cores)
     total = times.size
@@ -549,8 +770,15 @@ def _route_sequential(
     rng_random = route_rng.random
     bisect = bisect_right
 
+    dropped = np.zeros(total, dtype=bool) if timeline is not None else None
+    recoveries = timeline.recoveries if timeline is not None else []
+    recovery_cursor = 0
+
     def submit(index: int, submit_at: float, dst: int, client: int) -> None:
-        service = processing[index] / speeds[dst] + occupancy[dst]
+        speed = speeds[dst]
+        if timeline is not None:
+            speed *= timeline.speed_factor(dst, submit_at)
+        service = processing[index] / speed + occupancy[dst]
         if one_queue:
             heap = free_heaps[dst]
             free = heappop(heap)
@@ -587,6 +815,25 @@ def _route_sequential(
     for index in range(total):
         now = times[index]
         client = int(clients[index])
+        while (
+            recovery_cursor < len(recoveries)
+            and recoveries[recovery_cursor][0] <= now
+        ):
+            # Heap surgery at a recovery boundary: the outage froze the
+            # node's servers, so nothing can start before this instant.
+            rec_time, rec_node = recoveries[recovery_cursor]
+            recovery_cursor += 1
+            if one_queue:
+                heap = free_heaps[rec_node]
+                for lane, free in enumerate(heap):
+                    if free < rec_time:
+                        heap[lane] = rec_time
+                heapq.heapify(heap)
+            else:
+                lanes = core_free[rec_node]
+                for lane, free in enumerate(lanes):
+                    if free < rec_time:
+                        lanes[lane] = rec_time
         drain(now)
         if is_broadcast:
             while now >= next_tick:
@@ -628,6 +875,21 @@ def _route_sequential(
                 )
             errors[index] = abs(float(believe[dst]) - outstanding[dst])
             dsts[index] = dst
+
+        submit_at = now
+        if timeline is not None:
+            # Fabric traversal first, then delivery-time liveness — the
+            # DES injector's order. Dropped requests never count toward
+            # load signals, send slots, or server work.
+            fabric_drop, spike_delay = timeline.fabric_fate(now)
+            submit_at = now + spike_delay
+            if fabric_drop or timeline.node_down(dst, submit_at):
+                if not fabric_drop:
+                    timeline.stats.crash_drops += 1
+                dropped[index] = True
+                departures[index] = now
+                sojourns[index] = math.nan
+                continue
         outstanding[dst] += 1
 
         if inflight[client][dst] >= slots:
@@ -635,10 +897,10 @@ def _route_sequential(
             pending.setdefault((client, dst), []).append(index)
         else:
             inflight[client][dst] += 1
-            submit(index, now, dst, client)
+            submit(index, submit_at, dst, client)
 
     drain(float("inf"))
-    return dsts, sojourns, departures, errors, stalled
+    return dsts, sojourns, departures, errors, stalled, dropped
 
 
 def _build_snapshot(routed_counts: np.ndarray, errors: Optional[np.ndarray]):

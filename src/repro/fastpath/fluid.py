@@ -35,11 +35,25 @@ stationary distribution (~2x10^5 tagged customers), so results are
 deterministic per seed and LatencySummary-shaped like every other
 engine. Cross-validation against DES/fast lives in
 ``tests/test_fastpath.py``; tolerance bands in EXPERIMENTS.md.
+
+Shaped load (``arrivals:profile`` in the engine-capability matrix):
+when the arrival process carries a deterministic
+:class:`~repro.popload.RateProfile` intensity,
+:func:`fluid_transient_measure` integrates the *transient* ODE with
+lambda(t) from the profile — started from the lambda(0) stationary point —
+and tagged customers are sampled at times distributed proportionally
+to lambda(t) via the profile's closed-form ``integral``. ``random``/``rr``
+route through the same machinery with d = 1 (the mean-field ODE with
+one choice *is* random splitting), so diurnal/flash shapes stay
+meaningful above the ``auto`` threshold. Transient overload (flash
+peaks past ``cores``) is fine as long as the *mean* load is stable;
+the backlog headroom is sized from the profile's worst excess.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import math
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -47,7 +61,11 @@ from ..cluster.cluster import ClusterResult
 from ..metrics import LatencySummary
 from ..queueing.analytic import erlang_c
 
-__all__ = ["fluid_tail_measure", "simulate_cluster_fluid"]
+__all__ = [
+    "fluid_tail_measure",
+    "fluid_transient_measure",
+    "simulate_cluster_fluid",
+]
 
 #: SED on a homogeneous rack scans all peers; beyond this many samples
 #: the JSQ(d) stationary point is numerically indistinguishable.
@@ -110,6 +128,84 @@ def _join_level_distribution(s: np.ndarray, choices: int) -> np.ndarray:
     return probabilities / total
 
 
+def fluid_transient_measure(
+    profile,
+    horizon_ns: float,
+    cores: int,
+    mean_service_ns: float,
+    choices: int,
+    snapshots: int = 512,
+    k_headroom: int = 80,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Transient tail-measure trajectory ``s_k(t)`` under lambda(t).
+
+    Integrates the JSQ(d) mean-field ODE with the time-varying per-node
+    intensity of ``profile`` (a :class:`~repro.popload.RateProfile`, in
+    requests/second) by forward Euler, starting from the stationary
+    point of lambda(0) — the fluid analogue of the per-RPC engines'
+    warmup discard. Returns ``(snap_times_ns, snap_s)`` where
+    ``snap_s[i]`` is the tail measure at ``snap_times_ns[i]``;
+    ``snapshots`` evenly spaced rows cover ``[0, horizon_ns]``.
+
+    The level cap is sized from the profile's worst cumulative excess
+    over the service capacity, so flash peaks past ``cores`` (transient
+    overload) track the growing backlog instead of saturating the grid.
+    """
+    if horizon_ns <= 0:
+        raise ValueError(f"horizon_ns must be positive, got {horizon_ns!r}")
+    if choices < 1:
+        raise ValueError(f"choices must be >= 1, got {choices!r}")
+    # Work in service-time units: tau = t / mean_service_ns.
+    tau_max = horizon_ns / mean_service_ns
+    grid = np.linspace(0.0, horizon_ns, snapshots)
+    # Per-node offered load in jobs per service time at each grid time.
+    lam_grid = profile.rate_array(grid) * 1e-9 * mean_service_ns
+    lam_peak = float(lam_grid.max())
+    lam0 = float(lam_grid[0])
+    if lam0 <= 0 or lam0 >= cores:
+        raise ValueError(
+            f"initial per-node load {lam0!r} must be in (0, {cores}) — the "
+            "trajectory starts from the lambda(0) stationary point"
+        )
+    # Worst cumulative excess of arrivals over capacity, in jobs: the
+    # deepest the fluid backlog can get under the deterministic drift.
+    cumulative = np.array([profile.integral(float(t)) for t in grid])
+    drained = cores * grid / mean_service_ns
+    drift = cumulative - drained
+    backlog = float(np.max(drift - np.minimum.accumulate(drift)))
+    k_max = cores + k_headroom + int(math.ceil(backlog))
+    s = fluid_tail_measure(min(lam0, cores - 1e-9), cores, choices, k_max=k_max)
+    s = np.append(s, 0.0)  # s[k_max + 1] = 0 boundary
+    drain = np.minimum(np.arange(1, k_max + 1), cores).astype(float)
+    dt = 0.2 / (max(lam_peak, 1.0) + cores)
+    steps = max(int(tau_max / dt) + 1, 1)
+    dt = tau_max / steps
+    snap_s = np.empty((snapshots, k_max + 1))
+    snap_s[0] = s[:-1]
+    next_snap = 1
+    tau = 0.0
+    for _ in range(steps):
+        t_ns = tau * mean_service_ns
+        lam = float(profile.rate(t_ns)) * 1e-9 * mean_service_ns
+        powers = s**choices
+        flow_in = lam * (powers[:-2] - powers[1:-1])
+        flow_out = drain * (s[1:-1] - s[2:])
+        s[1:-1] += dt * (flow_in - flow_out)
+        np.clip(s[1:-1], 0.0, 1.0, out=s[1:-1])
+        s[1:] = np.minimum.accumulate(s[1:])
+        tau += dt
+        while (
+            next_snap < snapshots
+            and grid[next_snap] <= tau * mean_service_ns
+        ):
+            snap_s[next_snap] = s[:-1]
+            next_snap += 1
+    while next_snap < snapshots:
+        snap_s[next_snap] = s[:-1]
+        next_snap += 1
+    return grid, snap_s
+
+
 def simulate_cluster_fluid(
     num_nodes: int,
     policy: str = "random",
@@ -121,6 +217,8 @@ def simulate_cluster_fluid(
     samples: int = 200_000,
     workload=None,
     overhead_ns: Optional[float] = None,
+    arrival_process=None,
+    horizon_ns: Optional[float] = None,
 ) -> ClusterResult:
     """One rack point from the fluid tier, as a ClusterResult.
 
@@ -130,6 +228,16 @@ def simulate_cluster_fluid(
     service defaults to exponential with the given mean.
     ``requests_per_node`` only scales the reported completion count —
     the fluid tier's cost is independent of it.
+
+    With an ``arrival_process`` whose ``.profile`` is a
+    :class:`~repro.popload.RateProfile` (plus a ``horizon_ns``), the
+    run integrates the transient ODE via
+    :func:`fluid_transient_measure` and samples tagged customers at
+    times proportional to lambda(t); ``random``/``rr`` take the ODE with
+    d = 1 (random splitting) instead of the stationary Erlang-C path.
+    Processes without a deterministic intensity (MMPP, population) are
+    rejected — that is the ``arrivals:stochastic`` capability, which
+    this tier does not have (see EXPERIMENTS.md "Engine tiers").
     """
     if num_nodes < 2:
         raise ValueError(f"need at least 2 nodes, got {num_nodes!r}")
@@ -155,7 +263,63 @@ def simulate_cluster_fluid(
     wait_scale = (1.0 + scv) / 2.0
 
     spec = policy.strip().lower()
-    if spec in ("random", "uniform", "rr", "round-robin", "roundrobin"):
+    if arrival_process is not None:
+        from ..popload.arrivals import RateProfile
+
+        profile = getattr(arrival_process, "profile", None)
+        if not isinstance(profile, RateProfile):
+            raise ValueError(
+                f"the fluid tier needs a deterministic RateProfile intensity; "
+                f"{type(arrival_process).__name__} has none "
+                "(capability 'arrivals:stochastic' — use engine='fast' or "
+                "'des'; see the engine-capability matrix in EXPERIMENTS.md)"
+            )
+        if horizon_ns is None or horizon_ns <= 0:
+            raise ValueError(
+                "arrival_process needs an explicit positive horizon_ns — "
+                "the transient trajectory has no intrinsic end time"
+            )
+        mean_offered = (
+            profile.mean_rate(horizon_ns) * 1e-9 * mean_service_ns
+        )
+        if mean_offered >= cores:
+            raise ValueError(
+                f"mean per-node load {mean_offered / cores:.2f} >= 1 over the "
+                "horizon: the fluid backlog would grow without bound"
+            )
+        if spec in ("random", "uniform", "rr", "round-robin", "roundrobin"):
+            # The d = 1 mean-field ODE *is* Poisson splitting, so the
+            # random/RR transient rides the same trajectory machinery.
+            choices = 1
+        elif spec == "sed":
+            choices = min(num_nodes - 1, _MAX_CHOICES)
+        elif spec.startswith("jsq"):
+            choices = int(spec[3:] or "2")
+        else:
+            raise ValueError(f"unknown policy for the fluid tier: {policy!r}")
+        grid, snap = fluid_transient_measure(
+            profile, horizon_ns, cores, mean_service_ns, choices
+        )
+        # Tagged customers arrive with density proportional to lambda(t):
+        # invert the profile's cumulative integral on the snapshot grid.
+        cumulative = np.array(
+            [profile.integral(float(t)) for t in grid]
+        )
+        targets = rng.random(samples) * cumulative[-1]
+        sample_times = np.interp(targets, cumulative, grid)
+        snap_index = np.searchsorted(grid, sample_times, side="right") - 1
+        levels = np.empty(samples, dtype=np.int64)
+        for index in np.unique(snap_index):
+            mask = snap_index == index
+            probabilities = _join_level_distribution(snap[index], choices)
+            levels[mask] = np.searchsorted(
+                np.cumsum(probabilities),
+                rng.random(int(mask.sum())),
+                side="right",
+            )
+        queued_ahead = np.maximum(levels - cores + 1, 0).astype(float)
+        waits = rng.standard_gamma(queued_ahead) * (mean_service_ns / cores)
+    elif spec in ("random", "uniform", "rr", "round-robin", "roundrobin"):
         # Exact per-node M/G/c: Poisson splitting keeps each node's
         # arrivals Poisson; RR's slightly smoother stream is treated
         # the same (conservative at rack sizes).

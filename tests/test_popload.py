@@ -466,12 +466,13 @@ class TestDiurnalExperiment:
         with pytest.raises(ValueError, match="positive"):
             make_arrival_process("constant", 1e6, 0.0)
 
-    def test_requires_des_engine(self):
+    def test_engine_resolution(self):
         from repro.experiments.diurnal import run_diurnal
 
-        with pytest.raises(ValueError, match="requires engine='des'"):
-            run_diurnal(profile="smoke", engine="fast")
-        with pytest.raises(ValueError, match="requires engine='des'"):
+        # The single-chip scheme surrogates are outside the fluid
+        # tier's capability set: requesting it explicitly raises with
+        # the supported alternatives instead of silently degrading.
+        with pytest.raises(ValueError, match="does not support"):
             run_diurnal(profile="smoke", engine="fluid")
 
     def test_smoke_run_structure_and_worker_determinism(self):
@@ -480,6 +481,8 @@ class TestDiurnalExperiment:
         serial = run_diurnal(profile="smoke", seed=0, workers=1)
         parallel = run_diurnal(profile="smoke", seed=0, workers=2)
         assert serial.table() == parallel.table()
+        # auto resolves to the fast tier for the single-chip sweep.
+        assert serial.data["engine"] == "fast"
         capacity = serial.data["capacity"]
         for scheme in ("1x16", "16x1"):
             assert set(capacity[scheme]) == set(PROFILE_KINDS)
