@@ -1,0 +1,22 @@
+"""Rack-of-racks in-network scheduling bench (``ext-datacenter``)."""
+
+from conftest import run_once
+
+from repro.experiments import run_datacenter
+
+
+def test_datacenter(benchmark, profile, emit):
+    result = run_once(benchmark, run_datacenter, profile=profile, seed=0)
+    emit(result)
+    data = result.data
+    # A load-aware spine must beat random rack placement under skew.
+    assert data["spine_advantage"] > 2.0
+    # The nanopu NI-bypass profile cuts the median.
+    assert data["nanopu_p50_ratio"] > 1.2
+    # Correlated rack outages conserve work on every hierarchy.
+    for entry in data["faults"].values():
+        assert entry["conserved"]
+        assert entry["lost"] > 0
+    # Fast tier stays inside the DES cross-check band (quick/full).
+    if "des_check" in data:
+        assert data["des_check"]["worst_abs_delta"] < 0.15

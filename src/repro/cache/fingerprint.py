@@ -48,6 +48,7 @@ SIM_MODULES: Tuple[str, ...] = (
     "balancing",
     "cluster",
     "core",
+    "datacenter",
     "dists",
     "fastpath",
     "faults",

@@ -1,7 +1,7 @@
 """Multi-node cluster simulation (beyond the paper's single-chip setup)."""
 
 from .cluster import Cluster, ClusterNode, ClusterResult, mesh_geometry
-from .fabric import Fabric, PodFabric, UniformFabric
+from .fabric import Fabric, HierarchicalFabric, PodFabric, UniformFabric
 
 __all__ = [
     "Cluster",
@@ -11,4 +11,5 @@ __all__ = [
     "Fabric",
     "UniformFabric",
     "PodFabric",
+    "HierarchicalFabric",
 ]

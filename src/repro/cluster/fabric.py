@@ -3,14 +3,16 @@
 The paper's evaluation models one chip and emulates its 199 peers; the
 cluster package simulates several *real* chips exchanging RPCs. The
 fabric supplies pairwise one-way latencies — uniform by default
-(rack-scale soNUMA), or distance-based for multi-rack topologies.
+(rack-scale soNUMA), distance-based for multi-rack topologies, or the
+full node→rack→spine hierarchy (:class:`HierarchicalFabric`) the
+datacenter layer builds on.
 """
 
 from __future__ import annotations
 
+from typing import Optional
 
-
-__all__ = ["Fabric", "UniformFabric", "PodFabric"]
+__all__ = ["Fabric", "UniformFabric", "PodFabric", "HierarchicalFabric"]
 
 
 class Fabric:
@@ -51,9 +53,17 @@ class UniformFabric(Fabric):
 class PodFabric(Fabric):
     """Two-tier topology: cheap intra-pod hops, expensive inter-pod.
 
-    Nodes are grouped into equal pods; same-pod pairs pay
-    ``intra_pod_ns``, others ``inter_pod_ns``. Models a small
+    Nodes are grouped into pods of ``pod_size`` in id order; same-pod
+    pairs pay ``intra_pod_ns``, others ``inter_pod_ns``. Models a small
     multi-rack deployment.
+
+    A ``pod_size`` that does not divide ``num_nodes`` is allowed and
+    leaves a *ragged last pod* (``PodFabric(4, pod_size=3)`` puts node
+    3 alone in pod 1) — deliberate, so a partially populated last rack
+    is expressible. A ``pod_size >= num_nodes`` is rejected: every pair
+    would be intra-pod, which silently degenerates to a
+    :class:`UniformFabric` at ``intra_pod_ns`` and is never what a
+    multi-pod latency model means.
     """
 
     def __init__(
@@ -66,6 +76,12 @@ class PodFabric(Fabric):
         super().__init__(num_nodes)
         if pod_size < 1:
             raise ValueError(f"pod_size must be >= 1, got {pod_size!r}")
+        if pod_size >= num_nodes:
+            raise ValueError(
+                f"pod_size {pod_size!r} >= num_nodes {num_nodes!r} puts "
+                "every node in one pod (an all-intra-pod fabric); use "
+                "UniformFabric for a single-latency topology"
+            )
         if intra_pod_ns < 0 or inter_pod_ns < 0:
             raise ValueError("latencies must be non-negative")
         self.pod_size = pod_size
@@ -79,4 +95,88 @@ class PodFabric(Fabric):
         self._check(src, dst)
         if self.pod_of(src) == self.pod_of(dst):
             return self.intra_pod_ns
+        return self.inter_pod_ns
+
+
+class HierarchicalFabric(Fabric):
+    """Three-tier node→rack→spine distance model for rack-of-racks.
+
+    Nodes are grouped into equal racks of ``rack_size`` in id order,
+    each fronted by a ToR router; racks are grouped into spine pods of
+    ``racks_per_pod`` racks. A pair in the same rack pays one ToR hop
+    (``intra_rack_ns``); different racks under the same spine pod pay
+    ToR→spine→ToR (``inter_rack_ns``); different spine pods pay the
+    core hop on top (``inter_pod_ns``). With ``racks_per_pod=None``
+    (the default) one spine pod spans every rack and the fabric reduces
+    to a strict two-level :class:`PodFabric` whose pods divide evenly.
+
+    Unlike :class:`PodFabric` (whose ragged last pod is a documented
+    feature), this fabric validates eagerly: ``rack_size`` must divide
+    ``num_nodes``, leave at least two racks, and ``racks_per_pod`` must
+    divide the rack count — a datacenter sweep mis-sized by one node
+    should fail loudly, not silently reshape the hierarchy.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        rack_size: int,
+        racks_per_pod: Optional[int] = None,
+        intra_rack_ns: float = 100.0,
+        inter_rack_ns: float = 500.0,
+        inter_pod_ns: float = 1000.0,
+    ) -> None:
+        super().__init__(num_nodes)
+        if rack_size < 1:
+            raise ValueError(f"rack_size must be >= 1, got {rack_size!r}")
+        if num_nodes % rack_size != 0:
+            raise ValueError(
+                f"rack_size {rack_size!r} does not divide num_nodes "
+                f"{num_nodes!r} (a ragged rack is not a hierarchy; size "
+                "the topology explicitly)"
+            )
+        num_racks = num_nodes // rack_size
+        if num_racks < 2:
+            raise ValueError(
+                f"rack_size {rack_size!r} leaves {num_racks} rack(s) for "
+                f"{num_nodes!r} nodes; a hierarchy needs at least 2 racks "
+                "(use UniformFabric for one rack)"
+            )
+        if racks_per_pod is None:
+            racks_per_pod = num_racks
+        if racks_per_pod < 1:
+            raise ValueError(
+                f"racks_per_pod must be >= 1, got {racks_per_pod!r}"
+            )
+        if num_racks % racks_per_pod != 0:
+            raise ValueError(
+                f"racks_per_pod {racks_per_pod!r} does not divide the "
+                f"{num_racks} racks"
+            )
+        if not 0 <= intra_rack_ns <= inter_rack_ns <= inter_pod_ns:
+            raise ValueError(
+                "latencies must satisfy 0 <= intra_rack_ns <= "
+                f"inter_rack_ns <= inter_pod_ns, got ({intra_rack_ns!r}, "
+                f"{inter_rack_ns!r}, {inter_pod_ns!r})"
+            )
+        self.rack_size = rack_size
+        self.num_racks = num_racks
+        self.racks_per_pod = racks_per_pod
+        self.num_pods = num_racks // racks_per_pod
+        self.intra_rack_ns = intra_rack_ns
+        self.inter_rack_ns = inter_rack_ns
+        self.inter_pod_ns = inter_pod_ns
+
+    def rack_of(self, node: int) -> int:
+        return node // self.rack_size
+
+    def pod_of(self, node: int) -> int:
+        return self.rack_of(node) // self.racks_per_pod
+
+    def latency_ns(self, src: int, dst: int) -> float:
+        self._check(src, dst)
+        if self.rack_of(src) == self.rack_of(dst):
+            return self.intra_rack_ns
+        if self.pod_of(src) == self.pod_of(dst):
+            return self.inter_rack_ns
         return self.inter_pod_ns

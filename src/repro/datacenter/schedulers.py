@@ -1,0 +1,274 @@
+"""In-network scheduler models for the rack-of-racks hierarchy.
+
+Three hierarchy models from the related work, plus the flat baseline:
+
+* ``flat`` — no in-network help: each client samples ``d`` candidate
+  *nodes* (rack drawn from the Zipf popularity, member uniform) and
+  applies its policy over them — power-of-d-choices, because a flat
+  client cannot scan the whole datacenter per RPC.
+* ``racksched`` — RackSched-style two-layer scheduling: the spine
+  picks a *rack* by aggregate load signal (the policy knob selects the
+  spine discipline), then the ToR — which sees all of its servers —
+  runs JSQ over the rack's members.
+* ``jbsq`` — RAIN-style JBSQ(k): same two-layer routing, but the ToR
+  bounds every member's queue at ``k`` outstanding RPCs and holds
+  overflow in its own queue, late-binding each held RPC to the next
+  member that frees a slot. The bound is engine-enforced (the fast
+  tier models the hold queue; the DES approximates with immediate
+  binding — see :mod:`repro.datacenter.fastdc`).
+* ``nanopu`` — routing identical to ``racksched``; what changes is the
+  node hardware (:data:`~repro.datacenter.topology.NODE_PROFILES`
+  ``nanopu``: NI-core bypass latencies).
+
+One scheduler object serves both engines: the DES
+:class:`~repro.datacenter.router.DatacenterRouter` and the fast tier's
+sequential loop call the same :meth:`DatacenterScheduler.choose` on
+their live per-node / per-rack outstanding state, so routing semantics
+cannot drift between tiers.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_right
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .topology import DatacenterTopology
+
+__all__ = [
+    "HIERARCHIES",
+    "SPINE_POLICIES",
+    "DEFAULT_JBSQ_K",
+    "DatacenterScheduler",
+    "FlatScheduler",
+    "TwoLevelScheduler",
+    "make_scheduler",
+]
+
+HIERARCHIES = ("flat", "racksched", "jbsq", "nanopu")
+
+#: Spine (rack-selection) disciplines; ``flat`` applies them per node.
+SPINE_POLICIES = ("random", "jsq2", "sed")
+
+#: Default JBSQ bound: 16 cores of on-server concurrency plus a small
+#: on-NI buffer, the shallowest bound that does not idle a healthy
+#: server (RAIN sizes k the same way relative to server parallelism).
+DEFAULT_JBSQ_K = 20
+
+_JSQ_PATTERN = re.compile(r"^jsq(\d+)$")
+
+
+def _parse_policy(policy: str) -> tuple:
+    """``("random", 0) | ("jsq", d) | ("sed", d)`` from the spec string."""
+    if policy == "random":
+        return "random", 0
+    if policy == "sed":
+        return "sed", 2
+    match = _JSQ_PATTERN.match(policy)
+    if match:
+        d = int(match.group(1))
+        if d < 1:
+            raise ValueError(f"jsq fan-out must be >= 1, got {policy!r}")
+        return "jsq", d
+    raise ValueError(
+        f"unknown spine policy {policy!r}; known: random, jsq<d>, sed"
+    )
+
+
+class DatacenterScheduler:
+    """Base: Zipf rack popularity + shared tie-break/selection helpers.
+
+    ``believe`` is the per-node outstanding view and ``rack_believe``
+    the per-rack aggregate (dispatched + ToR-held); both engines own
+    the ground truth and keep the aggregates in sync incrementally, so
+    a decision never pays an O(num_nodes) scan.
+    """
+
+    #: JBSQ bound (None for unbounded hierarchies).
+    bound_k: Optional[int] = None
+
+    def __init__(
+        self, topology: DatacenterTopology, policy: str = "jsq2",
+        skew: float = 0.0,
+    ) -> None:
+        if skew < 0:
+            raise ValueError(f"skew must be non-negative, got {skew!r}")
+        self.topology = topology
+        self.policy = policy
+        self.mode, self.d = _parse_policy(policy)
+        self.skew = skew
+        weights = np.array(
+            [1.0 / (rank + 1.0) ** skew for rank in range(topology.num_racks)]
+        )
+        cumulative = np.cumsum(weights / weights.sum())
+        cumulative[-1] = 1.0
+        #: Plain-float cumulative rack popularity, ``bisect``-friendly.
+        self.rack_cumulative: List[float] = [float(v) for v in cumulative]
+        self.capacities: Optional[List[float]] = None
+        self.rack_capacities: Optional[List[float]] = None
+
+    @property
+    def label(self) -> str:
+        return f"{self.hierarchy}+{self.policy}"
+
+    def set_capacities(self, capacities: Sequence[float]) -> None:
+        """Install per-node service capacities (cores x speed), once."""
+        topo = self.topology
+        if len(capacities) != topo.num_nodes:
+            raise ValueError(
+                f"capacities has {len(capacities)} entries for "
+                f"{topo.num_nodes} nodes"
+            )
+        self.capacities = [float(value) for value in capacities]
+        self.rack_capacities = [
+            sum(self.capacities[node] for node in topo.members(rack))
+            for rack in range(topo.num_racks)
+        ]
+
+    def _sample_rack(self, rng: np.random.Generator) -> int:
+        position = bisect_right(self.rack_cumulative, float(rng.random()))
+        return min(position, self.topology.num_racks - 1)
+
+    def _sample_distinct_racks(self, count: int, rng) -> List[int]:
+        count = min(count, self.topology.num_racks)
+        chosen: List[int] = []
+        while len(chosen) < count:
+            rack = self._sample_rack(rng)
+            if rack not in chosen:
+                chosen.append(rack)
+        return chosen
+
+    @staticmethod
+    def _pick_min(candidates, score, rng) -> int:
+        """Argmin with a uniform random tie-break (matches the rack layer)."""
+        best = None
+        tied: List[int] = []
+        for candidate in candidates:
+            value = score(candidate)
+            if best is None or value < best:
+                best = value
+                tied = [candidate]
+            elif value == best:
+                tied.append(candidate)
+        if len(tied) == 1:
+            return tied[0]
+        return tied[int(rng.integers(0, len(tied)))]
+
+    def choose(
+        self,
+        client: int,
+        believe: Sequence[float],
+        rack_believe: Sequence[float],
+        rng: np.random.Generator,
+    ) -> int:
+        raise NotImplementedError
+
+
+class FlatScheduler(DatacenterScheduler):
+    """No in-network scheduler: d-sampled client-side balancing."""
+
+    hierarchy = "flat"
+
+    def _sample_node(self, client: int, rng) -> int:
+        """One candidate: popularity-weighted rack, uniform member != client."""
+        topo = self.topology
+        rack = self._sample_rack(rng)
+        members = topo.members(rack)
+        if topo.rack_of(client) == rack:
+            offset = int(rng.integers(0, topo.rack_size - 1))
+            node = members[0] + offset
+            return node if node < client else node + 1
+        return members[0] + int(rng.integers(0, topo.rack_size))
+
+    def choose(self, client, believe, rack_believe, rng) -> int:
+        if self.mode == "random":
+            return self._sample_node(client, rng)
+        candidates: List[int] = []
+        want = min(self.d, self.topology.num_nodes - 1)
+        while len(candidates) < want:
+            node = self._sample_node(client, rng)
+            if node not in candidates:
+                candidates.append(node)
+        if self.mode == "sed":
+            capacities = self.capacities
+            return self._pick_min(
+                candidates,
+                lambda node: (believe[node] + 1.0) / capacities[node],
+                rng,
+            )
+        return self._pick_min(candidates, lambda node: believe[node], rng)
+
+
+class TwoLevelScheduler(DatacenterScheduler):
+    """Spine picks the rack by aggregate signal; ToR runs JSQ inside."""
+
+    def __init__(
+        self,
+        topology: DatacenterTopology,
+        policy: str = "jsq2",
+        skew: float = 0.0,
+        hierarchy: str = "racksched",
+        bound_k: Optional[int] = None,
+    ) -> None:
+        super().__init__(topology, policy, skew)
+        self.hierarchy = hierarchy
+        if bound_k is not None and bound_k < 1:
+            raise ValueError(f"JBSQ bound must be >= 1, got {bound_k!r}")
+        self.bound_k = bound_k
+
+    def choose_rack(self, client, rack_believe, rng) -> int:
+        if self.mode == "random":
+            return self._sample_rack(rng)
+        if self.mode == "jsq":
+            candidates = self._sample_distinct_racks(self.d, rng)
+            return self._pick_min(
+                candidates, lambda rack: rack_believe[rack], rng
+            )
+        # SED over *all* racks: the spine sees every ToR's aggregate, so
+        # unlike a flat client it can afford the full capacity-aware scan.
+        capacities = self.rack_capacities
+        return self._pick_min(
+            range(self.topology.num_racks),
+            lambda rack: (rack_believe[rack] + 1.0) / capacities[rack],
+            rng,
+        )
+
+    def choose_member(self, rack, client, believe, rng) -> int:
+        """ToR-local JSQ over the rack's members (client excluded)."""
+        members = self.topology.members(rack)
+        if self.topology.rack_of(client) == rack:
+            candidates = [node for node in members if node != client]
+        else:
+            candidates = members
+        return self._pick_min(candidates, lambda node: believe[node], rng)
+
+    def choose(self, client, believe, rack_believe, rng) -> int:
+        rack = self.choose_rack(client, rack_believe, rng)
+        return self.choose_member(rack, client, believe, rng)
+
+
+def make_scheduler(
+    hierarchy: str,
+    topology: DatacenterTopology,
+    policy: str = "jsq2",
+    skew: float = 0.0,
+    jbsq_k: int = DEFAULT_JBSQ_K,
+) -> DatacenterScheduler:
+    """Build the scheduler for one hierarchy model.
+
+    ``nanopu`` routes exactly like ``racksched`` — its difference is
+    the node profile the engines apply, not the scheduling discipline.
+    """
+    if hierarchy == "flat":
+        return FlatScheduler(topology, policy, skew)
+    if hierarchy in ("racksched", "nanopu"):
+        return TwoLevelScheduler(topology, policy, skew, hierarchy=hierarchy)
+    if hierarchy == "jbsq":
+        return TwoLevelScheduler(
+            topology, policy, skew, hierarchy="jbsq", bound_k=jbsq_k
+        )
+    raise ValueError(
+        f"unknown hierarchy {hierarchy!r}; known: {', '.join(HIERARCHIES)}"
+    )

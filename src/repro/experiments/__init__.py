@@ -10,6 +10,7 @@ from .ablations import (
 )
 from .cli import EXPERIMENTS, main
 from .common import ExperimentResult, PROFILES, Profile, load_grid
+from .datacenter import run_datacenter
 from .diurnal import run_diurnal
 from .extensions import (
     run_bursts,
@@ -71,6 +72,7 @@ __all__ = [
     "run_bursts",
     "run_tails",
     "run_diurnal",
+    "run_datacenter",
     "run_rss_spray",
     "run_outstanding_ablation",
     "run_policy_ablation",

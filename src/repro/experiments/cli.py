@@ -27,6 +27,7 @@ from .ablations import (
     run_straggler_ablation,
 )
 from .common import ExperimentResult, PROFILES
+from .datacenter import run_datacenter
 from .diurnal import run_diurnal
 from .extensions import (
     run_bursts,
@@ -80,6 +81,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "ext-bursts": run_bursts,
     "ext-tails": run_tails,
     "ext-diurnal": run_diurnal,
+    "ext-datacenter": run_datacenter,
     "ablation-rss-spray": run_rss_spray,
 }
 
@@ -88,12 +90,15 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
 #: Resolution is capability-aware
 #: (:data:`repro.fastpath.ENGINE_CAPABILITIES`): shaped arrival
 #: processes and fault plans run on the per-RPC tiers, deterministic
-#: rate profiles additionally on the fluid tier's transient ODE, and
-#: ``ext-tails`` stays DES-only — span tracing instruments the
-#: discrete-event hot paths themselves, so its driver rejects every
-#: other tier with an actionable error.
+#: rate profiles additionally on the fluid tier's transient ODE,
+#: ``ext-datacenter``'s two-level routing pins it to the per-RPC
+#: tiers (the ``hierarchy`` capability), and ``ext-tails`` stays
+#: DES-only — span tracing instruments the discrete-event hot paths
+#: themselves, so its driver rejects every other tier with an
+#: actionable error.
 ENGINE_AWARE = frozenset(
-    {"ext-rack", "ext-scale", "ext-tails", "ext-diurnal", "headline"}
+    {"ext-rack", "ext-scale", "ext-tails", "ext-diurnal", "ext-datacenter",
+     "headline"}
 )
 
 

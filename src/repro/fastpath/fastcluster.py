@@ -66,6 +66,7 @@ from ..rack.signals import BroadcastSignal, PiggybackSignal, make_signal
 from .calendar import CalendarQueue
 
 __all__ = [
+    "FaultTimeline",
     "calibrated_scheme_profile",
     "calibrated_service_overhead_ns",
     "simulate_rack_fast",
@@ -901,6 +902,12 @@ def _route_sequential(
 
     drain(float("inf"))
     return dsts, sojourns, departures, errors, stalled, dropped
+
+
+#: Public name for the flat-window fault timeline: the datacenter fast
+#: engine (:mod:`repro.datacenter.fastdc`) replays the same
+#: materialized plans inside its own sequential loop.
+FaultTimeline = _FaultTimeline
 
 
 def _build_snapshot(routed_counts: np.ndarray, errors: Optional[np.ndarray]):

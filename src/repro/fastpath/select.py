@@ -60,12 +60,28 @@ DEFAULT_FLUID_THRESHOLD = 128
 #:   the discrete-event hot paths themselves.
 #: * ``chip`` — single-chip balancing-scheme surrogates (1x16/16x1
 #:   queueing structure inside one node, e.g. ``ext-diurnal``).
+#: * ``hierarchy`` — two-level rack-of-racks routing
+#:   (:mod:`repro.datacenter`): per-rack aggregates and ToR hold
+#:   queues are per-RPC state the mean-field tier cannot express.
 ENGINE_CAPABILITIES: Mapping[str, FrozenSet[str]] = {
     "des": frozenset(
-        {"arrivals:profile", "arrivals:stochastic", "faults", "tracing", "chip"}
+        {
+            "arrivals:profile",
+            "arrivals:stochastic",
+            "faults",
+            "tracing",
+            "chip",
+            "hierarchy",
+        }
     ),
     "fast": frozenset(
-        {"arrivals:profile", "arrivals:stochastic", "faults", "chip"}
+        {
+            "arrivals:profile",
+            "arrivals:stochastic",
+            "faults",
+            "chip",
+            "hierarchy",
+        }
     ),
     "fluid": frozenset({"arrivals:profile"}),
 }
@@ -103,6 +119,7 @@ def required_capabilities(
     faults=None,
     tracing: bool = False,
     chip: bool = False,
+    hierarchy: bool = False,
 ) -> FrozenSet[str]:
     """The capability set one run needs (see :data:`ENGINE_CAPABILITIES`)."""
     need = set()
@@ -115,6 +132,8 @@ def required_capabilities(
         need.add("tracing")
     if chip:
         need.add("chip")
+    if hierarchy:
+        need.add("hierarchy")
     return frozenset(need)
 
 
@@ -136,6 +155,7 @@ def resolve_engine(
     faults=None,
     tracing: bool = False,
     chip: bool = False,
+    hierarchy: bool = False,
 ) -> str:
     """Resolve the ``engine=`` knob to a concrete tier for one run.
 
@@ -161,7 +181,11 @@ def resolve_engine(
     if engine not in ENGINES:
         raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
     need = required_capabilities(
-        arrival_process=arrival_process, faults=faults, tracing=tracing, chip=chip
+        arrival_process=arrival_process,
+        faults=faults,
+        tracing=tracing,
+        chip=chip,
+        hierarchy=hierarchy,
     )
     if engine == "auto":
         resolved = "fast" if num_nodes <= threshold else "fluid"
